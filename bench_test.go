@@ -1,0 +1,131 @@
+package graphtinker
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// section. Each benchmark executes the corresponding experiment driver at a
+// reduced dataset scale (see internal/bench.Options) and reports the
+// figure's headline number as a custom metric, so `go test -bench .`
+// regenerates a compact form of the whole evaluation. For full tables, run
+// cmd/gtbench.
+
+import (
+	"strconv"
+	"testing"
+
+	"graphtinker/internal/bench"
+)
+
+// benchOpts returns the dataset scale used by the `go test -bench` run:
+// small enough to keep the full suite in minutes.
+func benchOpts() bench.Options {
+	o := bench.DefaultOptions()
+	o.ScaleDivisor = 1024
+	o.Batches = 8
+	o.Cores = []int{1, 2, 4}
+	o.PageWidths = []int{16, 64, 256}
+	o.Fig19PageWidths = []int{8, 64, 256}
+	o.Ratios = []bench.Ratio{{Updates: 1, Analytics: 4}, {Updates: 4, Analytics: 1}}
+	o.Roots = 8
+	return o
+}
+
+// runExperiment executes one registered driver b.N times and folds its
+// first-row numbers into custom metrics.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	var last bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	// Surface the numeric cells of the first and last data rows as custom
+	// metrics, labelled by column, so regressions are visible in benchstat.
+	reportRow := func(prefix string, row []string) {
+		for i, cell := range row {
+			if i == 0 || i >= len(last.Columns) {
+				continue
+			}
+			if v, err := strconv.ParseFloat(cell, 64); err == nil {
+				b.ReportMetric(v, prefix+"_"+sanitize(last.Columns[i]))
+			}
+		}
+	}
+	if len(last.Rows) > 0 {
+		reportRow("first", last.Rows[0])
+		if len(last.Rows) > 1 {
+			reportRow("last", last.Rows[len(last.Rows)-1])
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Table 1: dataset inventory.
+func BenchmarkTable1Datasets(b *testing.B) { runExperiment(b, "table1") }
+
+// Fig. 8: insertion throughput vs input size (GT+CAL, GT-noCAL, STINGER).
+func BenchmarkFig08InsertThroughput(b *testing.B) { runExperiment(b, "fig8") }
+
+// Fig. 9: insertion throughput across datasets.
+func BenchmarkFig09InsertAcrossDatasets(b *testing.B) { runExperiment(b, "fig9") }
+
+// Fig. 10: update throughput vs CPU cores.
+func BenchmarkFig10Multicore(b *testing.B) { runExperiment(b, "fig10") }
+
+// Fig. 11: BFS processing throughput (hybrid / full / incremental / STINGER).
+func BenchmarkFig11BFS(b *testing.B) { runExperiment(b, "fig11") }
+
+// Fig. 12: SSSP processing throughput.
+func BenchmarkFig12SSSP(b *testing.B) { runExperiment(b, "fig12") }
+
+// Fig. 13: CC processing throughput.
+func BenchmarkFig13CC(b *testing.B) { runExperiment(b, "fig13") }
+
+// Sec. V.B: SGH/CAL ablation (feature contribution).
+func BenchmarkAblationSGHCAL(b *testing.B) { runExperiment(b, "ablation") }
+
+// Fig. 14: edge-deletion throughput (delete-only vs delete-and-compact vs
+// STINGER).
+func BenchmarkFig14Deletions(b *testing.B) { runExperiment(b, "fig14") }
+
+// Fig. 15: BFS throughput after deletion batches.
+func BenchmarkFig15AnalyticsUnderDeletion(b *testing.B) { runExperiment(b, "fig15") }
+
+// Fig. 16: average BFS/SSSP/CC throughput across the deletion process.
+func BenchmarkFig16AvgAnalyticsUnderDeletion(b *testing.B) { runExperiment(b, "fig16") }
+
+// Fig. 17: PAGEWIDTH vs insertion throughput.
+func BenchmarkFig17PageWidthInsert(b *testing.B) { runExperiment(b, "fig17") }
+
+// Fig. 18: PAGEWIDTH vs BFS (incremental mode) throughput.
+func BenchmarkFig18PageWidthAnalytics(b *testing.B) { runExperiment(b, "fig18") }
+
+// Fig. 19: optimal PAGEWIDTH across update:analytics ratios.
+func BenchmarkFig19PageWidthBalance(b *testing.B) { runExperiment(b, "fig19") }
+
+// Extension ablations for the design choices DESIGN.md calls out.
+func BenchmarkExtWorkblockSize(b *testing.B)         { runExperiment(b, "ext-wb") }
+func BenchmarkExtCALGroupSize(b *testing.B)          { runExperiment(b, "ext-calgroup") }
+func BenchmarkExtRobinHoodVsFirstFit(b *testing.B)   { runExperiment(b, "ext-rhh") }
+func BenchmarkExtVertexCentric(b *testing.B)         { runExperiment(b, "ext-vc") }
+func BenchmarkExtMemoryFootprint(b *testing.B)       { runExperiment(b, "ext-mem") }
+func BenchmarkExtPredictorAccuracy(b *testing.B)     { runExperiment(b, "ext-predictor") }
+func BenchmarkExtParallelEngineScaling(b *testing.B) { runExperiment(b, "ext-scaling") }

@@ -1,0 +1,134 @@
+// Command gtbench regenerates the tables and figures of the GraphTinker
+// paper's evaluation section.
+//
+// Usage:
+//
+//	gtbench -exp all                 # run every experiment (paper order)
+//	gtbench -exp fig8,fig11          # run a subset
+//	gtbench -list                    # list experiment ids
+//	gtbench -exp fig9 -scale 64      # 1/64 of paper dataset sizes
+//	gtbench -exp fig10 -cores 1,2,4,8,16
+//
+// The -scale flag divides every dataset's vertex and edge counts
+// (preserving average degree); -scale 1 reproduces the paper's full sizes
+// and will take hours and tens of GB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphtinker/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		listFlag  = flag.Bool("list", false, "list available experiments and exit")
+		scale     = flag.Int("scale", 256, "dataset scale divisor (1 = full paper size)")
+		batches   = flag.Int("batches", 10, "update batches per workload")
+		threshold = flag.Float64("threshold", 0, "hybrid inference-box threshold (0 = paper's 0.02)")
+		cores     = flag.String("cores", "1,2,4,8", "core counts for fig10")
+		pws       = flag.String("pagewidths", "16,32,64,128,256", "PAGEWIDTH sweep for fig17/fig18")
+		pws19     = flag.String("fig19pagewidths", "8,16,32,64,128,256", "PAGEWIDTH sweep for fig19")
+		roots     = flag.Int("roots", 20, "high-degree roots rotated through in fig19")
+		repeats   = flag.Int("repeats", 1, "best-of-N repetition for timed analytics figures")
+		format    = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fatal("unknown -format %q (table or csv)", *format)
+	}
+
+	if *listFlag {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	opts := bench.DefaultOptions()
+	opts.ScaleDivisor = *scale
+	opts.Batches = *batches
+	opts.Threshold = *threshold
+	opts.Roots = *roots
+	opts.Repeats = *repeats
+	var err error
+	if opts.Cores, err = parseInts(*cores); err != nil {
+		fatal("bad -cores: %v", err)
+	}
+	if opts.PageWidths, err = parseInts(*pws); err != nil {
+		fatal("bad -pagewidths: %v", err)
+	}
+	if opts.Fig19PageWidths, err = parseInts(*pws19); err != nil {
+		fatal("bad -fig19pagewidths: %v", err)
+	}
+
+	var selected []bench.Experiment
+	switch *expFlag {
+	case "all":
+		selected = bench.Registry()
+	case "paper":
+		for _, e := range bench.Registry() {
+			if !strings.HasPrefix(e.ID, "ext-") {
+				selected = append(selected, e)
+			}
+		}
+	case "extensions":
+		for _, e := range bench.Registry() {
+			if strings.HasPrefix(e.ID, "ext-") {
+				selected = append(selected, e)
+			}
+		}
+	default:
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal("%v", err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *format == "table" {
+		fmt.Printf("gtbench: scale 1/%d, %d batches per workload\n\n", opts.ScaleDivisor, opts.Batches)
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tb, err := e.Run(opts)
+		if err != nil {
+			fatal("%s: %v", e.ID, err)
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
+		default:
+			fmt.Print(tb.Format())
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gtbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1,2, 4 ,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 4, 8}) {
+		t.Fatalf("parseInts = %v", got)
+	}
+	for _, bad := range []string{"", "a", "1,,2", "0", "-3", "1,x"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Fatalf("parseInts(%q) accepted", bad)
+		}
+	}
+}

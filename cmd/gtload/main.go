@@ -1,0 +1,173 @@
+// Command gtload generates a dataset from the Table-1 registry (or custom
+// RMAT parameters), loads it into GraphTinker, and reports structure
+// statistics: throughput, probe behaviour, occupancy and memory footprint.
+//
+// Usage:
+//
+//	gtload -dataset Hollywood-2009 -scale 256
+//	gtload -rmat-scale 18 -edge-factor 16
+//	gtload -dataset RMAT_2M_32M -scale 128 -pagewidth 128 -no-cal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/datasets"
+	"graphtinker/internal/edgefile"
+	"graphtinker/internal/rmat"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "", "Table-1 dataset name (see -list)")
+		list       = flag.Bool("list", false, "list datasets and exit")
+		scale      = flag.Int("scale", 256, "dataset scale divisor")
+		rmatScale  = flag.Int("rmat-scale", 0, "custom RMAT: log2 vertices (overrides -dataset)")
+		edgeFactor = flag.Uint64("edge-factor", 16, "custom RMAT: edges per vertex")
+		seed       = flag.Uint64("seed", 1, "custom RMAT seed")
+		file       = flag.String("file", "", "load a text edge list (src dst [weight] per line) instead of generating")
+		fileBase   = flag.Uint64("file-base", 0, "subtract this from ids in -file (1 for Matrix Market)")
+		symmetrize = flag.Bool("symmetrize", false, "emit both directions for -file edges")
+		batch      = flag.Int("batch", 100000, "edges per batch")
+		pagewidth  = flag.Int("pagewidth", core.DefaultPageWidth, "edgeblock PAGEWIDTH")
+		noCAL      = flag.Bool("no-cal", false, "disable the Coarse Adjacency List mirror")
+		noSGH      = flag.Bool("no-sgh", false, "disable Scatter-Gather Hashing")
+		compact    = flag.Bool("compact", false, "use the delete-and-compact mechanism")
+		histograms = flag.Bool("histograms", false, "print probe/generation/degree histograms after loading")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range datasets.Table1() {
+			fmt.Printf("%-18s %-10s %12d vertices %14d edges\n", d.Name, d.Kind, d.Vertices, d.Edges)
+		}
+		return
+	}
+
+	var batches [][]rmat.Edge
+	var label string
+	switch {
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		coreBatches, err := edgefile.ReadBatches(f, edgefile.Options{
+			Base: *fileBase, Symmetrize: *symmetrize,
+		}, *batch)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, cb := range coreBatches {
+			rb := make([]rmat.Edge, len(cb))
+			for i, e := range cb {
+				rb[i] = rmat.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+			}
+			batches = append(batches, rb)
+		}
+		label = *file
+	case *rmatScale > 0:
+		p := rmat.Graph500Params(*rmatScale, *edgeFactor, *seed)
+		var err error
+		batches, err = rmat.GenerateBatches(p, *batch)
+		if err != nil {
+			fatal("%v", err)
+		}
+		label = fmt.Sprintf("RMAT scale=%d edgefactor=%d", *rmatScale, *edgeFactor)
+	case *dataset != "":
+		d, err := datasets.ByName(*dataset)
+		if err != nil {
+			fatal("%v", err)
+		}
+		batches, err = d.Materialize(*scale, *batch)
+		if err != nil {
+			fatal("%v", err)
+		}
+		label = fmt.Sprintf("%s at 1/%d scale", d.Name, *scale)
+	default:
+		fatal("need -dataset, -rmat-scale or -file (use -list to see datasets)")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.PageWidth = *pagewidth
+	cfg.EnableCAL = !*noCAL
+	cfg.EnableSGH = !*noSGH
+	if *compact {
+		cfg.DeleteMode = core.DeleteAndCompact
+	}
+	g, err := core.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("loading %s (%d batches of <=%d edges)\n", label, len(batches), *batch)
+	var total int
+	start := time.Now()
+	for i, b := range batches {
+		edges := make([]core.Edge, len(b))
+		for j, e := range b {
+			edges[j] = core.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+		}
+		bStart := time.Now()
+		g.InsertBatch(edges)
+		total += len(b)
+		fmt.Printf("  batch %3d: %8d edges, %7.2f Medges/s\n",
+			i+1, len(b), float64(len(b))/time.Since(bStart).Seconds()/1e6)
+	}
+	elapsed := time.Since(start)
+
+	st := g.Stats()
+	occ := g.OccupancyReport()
+	mem := g.Memory()
+	fmt.Printf("\nloaded %d tuples in %.2fs (%.2f Medges/s overall)\n",
+		total, elapsed.Seconds(), float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("live edges:          %d\n", g.NumEdges())
+	fmt.Printf("non-empty sources:   %d\n", g.NonEmptySources())
+	fmt.Printf("inserts/updates:     %d / %d\n", st.Inserts, st.Updates)
+	fmt.Printf("cells inspected:     %d (%.2f per op)\n", st.CellsInspected,
+		float64(st.CellsInspected)/float64(st.Inserts+st.Updates+1))
+	fmt.Printf("workblock fetches:   %d\n", st.WorkblocksRetrieved)
+	fmt.Printf("RHH swaps:           %d\n", st.RHHSwaps)
+	fmt.Printf("branch-outs:         %d (max generation %d)\n", st.Branches, st.MaxGeneration)
+	fmt.Printf("blocks allocated:    %d\n", st.BlocksAllocated)
+	fmt.Printf("edgeblock fill:      %.1f%%\n", 100*occ.Fill())
+	if cfg.EnableCAL {
+		fmt.Printf("CAL fill:            %.1f%%\n", 100*occ.CALFill())
+	}
+	fmt.Printf("memory:              %.1f MB (EBA %.1f, CAL %.1f, SGH %.1f, props %.1f)\n",
+		mb(mem.Total()), mb(mem.EdgeblockArrayBytes), mb(mem.CALBytes), mb(mem.SGHBytes), mb(mem.VertexPropsBytes))
+
+	if *histograms {
+		h := g.AnalyzeProbes()
+		fmt.Printf("\nprobe distances (mean %.2f, max %d):\n", h.MeanProbe(), h.MaxProbe)
+		for p, c := range h.ByProbe {
+			if c > 0 {
+				fmt.Printf("  probe %2d: %d\n", p, c)
+			}
+		}
+		fmt.Printf("generations (mean %.2f, max %d):\n", h.MeanGeneration(), h.MaxGeneration)
+		for gen, c := range h.ByGeneration {
+			if c > 0 {
+				fmt.Printf("  gen %2d:   %d\n", gen, c)
+			}
+		}
+		fmt.Println("degree buckets (2^k..2^(k+1)-1 vertices):")
+		for k, c := range g.DegreeHistogram() {
+			if c > 0 {
+				fmt.Printf("  2^%-2d:     %d\n", k, c)
+			}
+		}
+	}
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gtload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// drive feeds a script through the REPL and returns its output.
+func drive(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(strings.NewReader(script), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+func TestReplInsertFindDelete(t *testing.T) {
+	out := drive(t, `
+insert 1 2 1.5
+insert 1 3
+insert 1 2 9
+find 1 2
+degree 1
+delete 1 2
+find 1 2
+delete 1 2
+quit
+`)
+	for _, want := range []string{"inserted", "updated", "9", "2", "deleted", "not found"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplAnalytics(t *testing.T) {
+	out := drive(t, `
+insert 1 2 1
+insert 2 3 1
+bfs 1
+sssp 1
+cc
+quit
+`)
+	if !strings.Contains(out, "v=3 dist=2") {
+		t.Fatalf("bfs output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "components") {
+		t.Fatalf("cc output missing:\n%s", out)
+	}
+}
+
+func TestReplEdgesStatsOccupancy(t *testing.T) {
+	out := drive(t, `
+insert 5 6 2
+edges 5
+stats
+occupancy
+help
+quit
+`)
+	for _, want := range []string{"5->6 w=2", "edges=1", "fill=", "insert s d"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplErrors(t *testing.T) {
+	out := drive(t, `
+insert
+insert x y
+find 1
+degree notanumber
+frobnicate
+quit
+`)
+	if strings.Count(out, "error:") < 4 {
+		t.Fatalf("expected errors for malformed commands:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Fatalf("unknown command not reported:\n%s", out)
+	}
+}
+
+func TestReplEOFTerminates(t *testing.T) {
+	// No quit command: the loop must end on EOF without error.
+	out := drive(t, "insert 1 2 1\n")
+	if !strings.Contains(out, "inserted") {
+		t.Fatalf("EOF run broken:\n%s", out)
+	}
+}
+
+func TestReplBlankLinesIgnored(t *testing.T) {
+	out := drive(t, "\n\n\nquit\n")
+	if strings.Contains(out, "error") {
+		t.Fatalf("blank lines produced errors:\n%s", out)
+	}
+}

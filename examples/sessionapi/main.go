@@ -1,0 +1,126 @@
+// Sessionapi demonstrates the high-level Session orchestration layer: one
+// store, several attached analytics programs, batches of mixed insertions
+// and deletions, automatic recomputation of monotone programs when
+// deletions invalidate them, and Graph500-style validation of every
+// result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphtinker"
+)
+
+func main() {
+	s, err := graphtinker.NewSession(graphtinker.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Attach three programs under different policies.
+	if err := s.Attach("bfs", graphtinker.BFS(0), graphtinker.DefaultAttachmentPolicy()); err != nil {
+		log.Fatal(err)
+	}
+	ccPolicy := graphtinker.DefaultAttachmentPolicy()
+	ccPolicy.Mode = graphtinker.IncrementalProcessing
+	if err := s.Attach("cc", graphtinker.CC(), ccPolicy); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Attach("sssp", graphtinker.SSSP(0), graphtinker.DefaultAttachmentPolicy()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attached programs: %v\n\n", s.Attached())
+
+	// Stream batches of a growing random graph, with a deletion wave in
+	// the middle.
+	seed := uint64(2026)
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	// Weight is a pure function of the endpoints: duplicate tuples then
+	// never *change* a stored weight. (Monotone incremental programs like
+	// SSSP repair insertions, not weight increases — the same contract the
+	// paper's incremental model assumes.)
+	weightOf := func(src, dst uint64) float32 {
+		x := src*0x9e3779b97f4a7c15 ^ dst
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		return float32((x>>33)%9) + 1
+	}
+	randomBatch := func(n int) []graphtinker.Edge {
+		out := make([]graphtinker.Edge, n)
+		for i := range out {
+			u := next() % 4096
+			src, dst := (u*u)%4096, next()%4096
+			out[i] = graphtinker.Edge{Src: src, Dst: dst, Weight: weightOf(src, dst)}
+		}
+		return out
+	}
+
+	fmt.Println("batch  op       edges   recomputed        bfs-iters  cc-iters")
+	for step := 0; step < 8; step++ {
+		var b graphtinker.Batch
+		op := "insert"
+		if step == 4 {
+			// Deletion wave: remove a third of the live edges.
+			op = "delete"
+			live := s.Graph().Edges()
+			for i, e := range live {
+				if i%3 == 0 {
+					b.Delete = append(b.Delete, e)
+				}
+			}
+		} else {
+			b.Insert = randomBatch(20000)
+		}
+		out := s.ApplyBatch(b)
+		fmt.Printf("%5d  %-7s  %6d  %-16v  %9d  %8d\n",
+			step+1, op, out.Inserted+out.Deleted, out.Recomputed,
+			len(out.Runs["bfs"].Iterations), len(out.Runs["cc"].Iterations))
+	}
+
+	// Validate every result Graph500-style against the live edge set.
+	live := s.Graph().Edges()
+	bfsEng, _ := s.Engine("bfs")
+	ssspEng, _ := s.Engine("sssp")
+	ccEng, _ := s.Engine("cc")
+	checks := map[string][]string{
+		"bfs":  graphtinker.ValidateBFS(bfsEng.Values(), live, 0),
+		"sssp": graphtinker.ValidateSSSP(ssspEng.Values(), live, 0),
+		"cc":   graphtinker.ValidateCC(ccEng.Values(), live),
+	}
+	fmt.Println()
+	for name, violations := range checks {
+		if len(violations) != 0 {
+			log.Fatalf("%s failed validation: %v", name, violations)
+		}
+		fmt.Printf("%s: validated ✓\n", name)
+	}
+
+	// A parent-tracked BFS for good measure, audited as a tree.
+	pt := graphtinker.MustNewEngine(s.Graph(), graphtinker.BFSWithParents(0),
+		graphtinker.EngineOptions{Mode: graphtinker.Hybrid})
+	pt.RunFromScratch()
+	dist, parent := graphtinker.DecodeBFSParents(pt.Values())
+	if v := graphtinker.ValidateParentTree(dist, parent, live, 0); len(v) != 0 {
+		log.Fatalf("parent tree invalid: %v", v)
+	}
+	reached := 0
+	for _, d := range dist {
+		if d < graphtinker.Unreached {
+			reached++
+		}
+	}
+	fmt.Printf("parent tree: validated ✓ (%d vertices reached)\n", reached)
+
+	// Reclaim tombstone space left by the deletion wave.
+	before := s.Graph().OccupancyReport()
+	rebuilt := s.Graph().Rebuilt()
+	after := rebuilt.OccupancyReport()
+	fmt.Printf("\nrebuild: fill %.1f%% -> %.1f%%, blocks %d -> %d\n",
+		100*before.Fill(), 100*after.Fill(), before.LiveBlocks, after.LiveBlocks)
+}

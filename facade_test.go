@@ -1,0 +1,74 @@
+package graphtinker
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	if !g.InsertEdge(1, 2, 1) {
+		t.Fatalf("insert failed")
+	}
+	eng := MustNewEngine(g, BFS(1), EngineOptions{Mode: Hybrid})
+	res := eng.RunFromScratch()
+	if !res.Converged {
+		t.Fatalf("did not converge")
+	}
+	if eng.Value(2) != 1 {
+		t.Fatalf("bfs[2] = %g", eng.Value(2))
+	}
+	if math.IsInf(Unreached, 1) != true {
+		t.Fatalf("Unreached should be +Inf")
+	}
+}
+
+func TestFacadeStingerInterchangeable(t *testing.T) {
+	st, err := NewStinger(DefaultStingerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.InsertEdge(0, 1, 4)
+	st.InsertEdge(1, 2, 2)
+	eng, err := NewEngine(st, SSSP(0), EngineOptions{Mode: FullProcessing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFromScratch()
+	if eng.Value(2) != 6 {
+		t.Fatalf("sssp[2] = %g, want 6", eng.Value(2))
+	}
+}
+
+func TestFacadeParallelAndDeleteModes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeleteMode = DeleteAndCompact
+	p, err := NewParallel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InsertBatch([]Edge{{Src: 1, Dst: 2, Weight: 1}, {Src: 3, Dst: 4, Weight: 1}})
+	if p.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", p.NumEdges())
+	}
+	p.DeleteBatch([]Edge{{Src: 1, Dst: 2}})
+	if p.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d after delete", p.NumEdges())
+	}
+}
+
+func TestFacadeCCProgram(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	g.InsertBatch([]Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 0, Weight: 1},
+		{Src: 5, Dst: 6, Weight: 1}, {Src: 6, Dst: 5, Weight: 1},
+	})
+	eng := MustNewEngine(g, CC(), EngineOptions{Mode: FullProcessing})
+	eng.RunFromScratch()
+	if eng.Value(1) != 0 || eng.Value(6) != 5 {
+		t.Fatalf("cc labels: %g %g", eng.Value(1), eng.Value(6))
+	}
+}
+
+var _ GraphStore = (*Graph)(nil)
+var _ GraphStore = (*Stinger)(nil)

@@ -1,0 +1,32 @@
+package graphtinker
+
+import (
+	"io"
+
+	"graphtinker/internal/edgefile"
+)
+
+// EdgeFileOptions tunes text edge-list parsing (see ReadEdgeList).
+type EdgeFileOptions = edgefile.Options
+
+// ReadEdgeList parses a whitespace-separated "src dst [weight]" edge list
+// ('#'/'%' comment lines tolerated, so SNAP files and Matrix Market
+// coordinate bodies load directly).
+func ReadEdgeList(r io.Reader, opts EdgeFileOptions) ([]Edge, error) {
+	return edgefile.ReadAll(r, opts)
+}
+
+// ReadEdgeListBatches parses an edge list pre-split into batches.
+func ReadEdgeListBatches(r io.Reader, opts EdgeFileOptions, batchSize int) ([][]Edge, error) {
+	return edgefile.ReadBatches(r, opts, batchSize)
+}
+
+// WriteEdgeList serializes edges as "src dst weight" lines.
+func WriteEdgeList(w io.Writer, edges []Edge) error {
+	return edgefile.Write(w, edges)
+}
+
+// WriteGraphEdgeList streams a graph's live edges as an edge list.
+func WriteGraphEdgeList(w io.Writer, g *Graph) error {
+	return edgefile.WriteGraph(w, g)
+}

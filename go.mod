@@ -1,0 +1,3 @@
+module graphtinker
+
+go 1.22

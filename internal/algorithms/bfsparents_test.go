@@ -1,0 +1,146 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/engine"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cases := []struct{ dist, parent uint64 }{
+		{0, 0}, {0, NoParent}, {1, 12345}, {1 << 19, parentMask - 1}, {7, 1 << 31},
+	}
+	for _, c := range cases {
+		d, p := unpackDistParent(packDistParent(c.dist, c.parent))
+		if d != c.dist || p != c.parent&parentMask {
+			t.Fatalf("pack(%d,%d) unpacked to (%d,%d)", c.dist, c.parent, d, p)
+		}
+	}
+	if d, p := unpackDistParent(math.Inf(1)); d != math.MaxUint64 || p != NoParent {
+		t.Fatalf("inf unpacked to (%d,%d)", d, p)
+	}
+}
+
+func TestBFSWithParentsProducesValidTree(t *testing.T) {
+	edges := randomEdges(256, 2000, 61, false)
+	store := core.MustNew(core.DefaultConfig())
+	for _, e := range edges {
+		store.InsertEdge(e.Src, e.Dst, e.Weight)
+	}
+	live := storeEdges(store)
+	wantDist := ReferenceBFS(uint64(len(liveN(store))), live, 0)
+
+	for _, mode := range allModes() {
+		eng := engine.MustNew(store, BFSWithParents(0), engine.Options{Mode: mode})
+		res := eng.RunFromScratch()
+		if !res.Converged {
+			t.Fatalf("mode %v did not converge", mode)
+		}
+		dist, parent := DecodeBFSParents(eng.Values())
+		for v := range dist {
+			if dist[v] != wantDist[v] {
+				t.Fatalf("mode %v: dist[%d] = %g, want %g", mode, v, dist[v], wantDist[v])
+			}
+		}
+		if viol := ValidateParentTree(dist, parent, live, 0); len(viol) != 0 {
+			t.Fatalf("mode %v: parent tree invalid: %v", mode, viol)
+		}
+	}
+}
+
+func storeEdges(g *core.GraphTinker) []engine.Edge {
+	var out []engine.Edge
+	g.ForEachEdge(func(src, dst uint64, w float32) bool {
+		out = append(out, engine.Edge{Src: src, Dst: dst, Weight: w})
+		return true
+	})
+	return out
+}
+
+func liveN(g *core.GraphTinker) []float64 {
+	maxID, _ := g.MaxVertexID()
+	return make([]float64, maxID+1)
+}
+
+func TestBFSWithParentsIncremental(t *testing.T) {
+	store := core.MustNew(core.DefaultConfig())
+	eng := engine.MustNew(store, BFSWithParents(0), engine.Options{Mode: engine.IncrementalProcessing})
+	all := []engine.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+		{Src: 0, Dst: 3, Weight: 1}, {Src: 3, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 4, Weight: 1},
+	}
+	for i := 0; i < len(all); i++ {
+		b := all[i : i+1]
+		store.InsertBatch(b)
+		eng.RunAfterBatch(b)
+	}
+	dist, parent := DecodeBFSParents(eng.Values())
+	want := []float64{0, 1, 2, 1, 3}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %g, want %g", v, dist[v], want[v])
+		}
+	}
+	if viol := ValidateParentTree(dist, parent, storeEdges(store), 0); len(viol) != 0 {
+		t.Fatalf("parent tree invalid: %v", viol)
+	}
+	if parent[0] != NoParent {
+		t.Fatalf("root parent = %d", parent[0])
+	}
+}
+
+func TestValidateParentTreeRejectsCorruption(t *testing.T) {
+	edges := []engine.Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}}
+	inf := math.Inf(1)
+	goodDist := []float64{0, 1, 2}
+	goodParent := []uint64{NoParent, 0, 1}
+	if v := ValidateParentTree(goodDist, goodParent, edges, 0); len(v) != 0 {
+		t.Fatalf("valid tree rejected: %v", v)
+	}
+	cases := []struct {
+		name   string
+		dist   []float64
+		parent []uint64
+	}{
+		{"root with parent", []float64{0, 1, 2}, []uint64{1, 0, 1}},
+		{"missing parent", []float64{0, 1, 2}, []uint64{NoParent, NoParent, 1}},
+		{"wrong level parent", []float64{0, 1, 2}, []uint64{NoParent, 0, 0}},
+		{"phantom parent edge", []float64{0, 1, 2}, []uint64{NoParent, 0, 0}},
+		{"unreached with parent", []float64{0, 1, inf}, []uint64{NoParent, 0, 1}},
+	}
+	for _, c := range cases {
+		if v := ValidateParentTree(c.dist, c.parent, edges, 0); len(v) == 0 {
+			t.Fatalf("case %q accepted", c.name)
+		}
+	}
+}
+
+func TestBFSWithParentsDeterministicDistancesAcrossSplits(t *testing.T) {
+	edges := randomEdges(128, 900, 67, false)
+	run := func(batch int) []float64 {
+		store := core.MustNew(core.DefaultConfig())
+		eng := engine.MustNew(store, BFSWithParents(5), engine.Options{Mode: engine.Hybrid})
+		for i := 0; i < len(edges); i += batch {
+			end := i + batch
+			if end > len(edges) {
+				end = len(edges)
+			}
+			store.InsertBatch(edges[i:end])
+			eng.RunAfterBatch(edges[i:end])
+		}
+		dist, _ := DecodeBFSParents(eng.Values())
+		return dist
+	}
+	a, b := run(37), run(411)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("dist[%d] differs across batch splits: %g vs %g", v, a[v], b[v])
+		}
+	}
+}

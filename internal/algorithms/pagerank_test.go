@@ -1,0 +1,132 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/engine"
+)
+
+func pagerankStore(t *testing.T, edges []engine.Edge) *core.GraphTinker {
+	t.Helper()
+	g := core.MustNew(core.DefaultConfig())
+	g.InsertBatch(edges)
+	return g
+}
+
+func runPageRank(t *testing.T, store *core.GraphTinker, mode engine.Mode) *engine.Engine {
+	t.Helper()
+	cfg := DefaultPageRankConfig(store)
+	eng := engine.MustNew(store, PageRankDelta(cfg), engine.Options{Mode: mode, MaxIterations: 100000})
+	res := eng.RunFromScratch()
+	if !res.Converged {
+		t.Fatalf("pagerank did not converge")
+	}
+	return eng
+}
+
+func assertRanksMatch(t *testing.T, eng *engine.Engine, want []float64, tol float64) {
+	t.Helper()
+	for v := uint64(0); v < uint64(len(want)); v++ {
+		if math.Abs(eng.Value(v)-want[v]) > tol {
+			t.Fatalf("rank[%d] = %g, want %g (±%g)", v, eng.Value(v), want[v], tol)
+		}
+	}
+}
+
+func TestPageRankStarGraph(t *testing.T) {
+	// Hub 0 points at 1..4: each spoke's rank is base + d*base/4; the hub
+	// keeps the base rank.
+	var edges []engine.Edge
+	for i := uint64(1); i <= 4; i++ {
+		edges = append(edges, engine.Edge{Src: 0, Dst: i, Weight: 1})
+	}
+	store := pagerankStore(t, edges)
+	eng := runPageRank(t, store, engine.FullProcessing)
+	base := 0.15
+	wantSpoke := base + 0.85*base/4
+	if math.Abs(eng.Value(0)-base) > 1e-5 {
+		t.Fatalf("hub rank = %g, want %g", eng.Value(0), base)
+	}
+	for v := uint64(1); v <= 4; v++ {
+		if math.Abs(eng.Value(v)-wantSpoke) > 1e-5 {
+			t.Fatalf("spoke %d rank = %g, want %g", v, eng.Value(v), wantSpoke)
+		}
+	}
+}
+
+func TestPageRankMatchesJacobiReference(t *testing.T) {
+	edges := randomEdges(128, 1000, 99, false)
+	edges = CanonicalizeEdges(edges)
+	n := maxID(edges) + 1
+	want := ReferencePageRank(n, edges, 0.85, 1e-10)
+	store := pagerankStore(t, edges)
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			eng := runPageRank(t, store, mode)
+			assertRanksMatch(t, eng, want, 1e-3)
+		})
+	}
+}
+
+func TestPageRankCycleConservesFlow(t *testing.T) {
+	// On a directed cycle every vertex has the same rank, and it equals
+	// the fixed point r = (1-d) + d*r, i.e. r = 1.
+	var edges []engine.Edge
+	const n = 10
+	for i := uint64(0); i < n; i++ {
+		edges = append(edges, engine.Edge{Src: i, Dst: (i + 1) % n, Weight: 1})
+	}
+	store := pagerankStore(t, edges)
+	eng := runPageRank(t, store, engine.Hybrid)
+	for v := uint64(0); v < n; v++ {
+		if math.Abs(eng.Value(v)-1) > 1e-3 {
+			t.Fatalf("cycle rank[%d] = %g, want 1", v, eng.Value(v))
+		}
+	}
+}
+
+func TestPageRankAfterBatchRestartsCleanly(t *testing.T) {
+	// PageRank is static-per-batch: RunAfterBatch must land on the
+	// enlarged graph's fixed point, not accumulate stale mass.
+	store := core.MustNew(core.DefaultConfig())
+	cfg := DefaultPageRankConfig(store)
+	eng := engine.MustNew(store, PageRankDelta(cfg), engine.Options{Mode: engine.IncrementalProcessing, MaxIterations: 100000})
+
+	b1 := []engine.Edge{{Src: 0, Dst: 1, Weight: 1}}
+	store.InsertBatch(b1)
+	eng.RunAfterBatch(b1)
+
+	b2 := []engine.Edge{{Src: 1, Dst: 2, Weight: 1}, {Src: 2, Dst: 0, Weight: 1}}
+	store.InsertBatch(b2)
+	eng.RunAfterBatch(b2)
+
+	all := append(append([]engine.Edge{}, b1...), b2...)
+	want := ReferencePageRank(3, all, 0.85, 1e-10)
+	assertRanksMatch(t, eng, want, 1e-3)
+}
+
+func TestPageRankDanglingVertices(t *testing.T) {
+	// Vertex 1 has no out-edges; its rank must still absorb mass and the
+	// run must terminate.
+	edges := []engine.Edge{{Src: 0, Dst: 1, Weight: 1}}
+	store := pagerankStore(t, edges)
+	eng := runPageRank(t, store, engine.FullProcessing)
+	if eng.Value(1) <= eng.Value(0) {
+		t.Fatalf("sink should out-rank its only source: %g vs %g", eng.Value(1), eng.Value(0))
+	}
+}
+
+func TestReferencePageRankIgnoresOutOfRange(t *testing.T) {
+	edges := []engine.Edge{{Src: 99, Dst: 0, Weight: 1}, {Src: 0, Dst: 99, Weight: 1}}
+	r := ReferencePageRank(2, edges, 0.85, 1e-8)
+	if len(r) != 2 {
+		t.Fatalf("len = %d", len(r))
+	}
+	for _, v := range r {
+		if math.IsNaN(v) || v < 0.14 {
+			t.Fatalf("rank corrupted by out-of-range edges: %v", r)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package algorithms
+
+// Static reference implementations over a plain edge list, used to verify
+// the engine's results in tests and to seed EXPERIMENTS.md sanity checks.
+// They compute the same fixed points as the GAS programs, by definitionally
+// simple means (queue-based BFS, Bellman-Ford-style relaxation, repeated
+// label propagation).
+
+import (
+	"math"
+
+	"graphtinker/internal/engine"
+)
+
+// CanonicalizeEdges collapses duplicate (src, dst) tuples to the last
+// occurrence, mirroring the data structures' update-on-duplicate-insert
+// semantics, so the references compute the same fixed point a store loaded
+// from the raw stream holds.
+func CanonicalizeEdges(edges []engine.Edge) []engine.Edge {
+	type key struct{ s, d uint64 }
+	idx := make(map[key]int, len(edges))
+	out := make([]engine.Edge, 0, len(edges))
+	for _, e := range edges {
+		k := key{e.Src, e.Dst}
+		if i, ok := idx[k]; ok {
+			out[i] = e
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// adjacency builds an out-adjacency index over an edge list with n
+// vertices.
+func adjacency(n uint64, edges []engine.Edge) [][]engine.Edge {
+	adj := make([][]engine.Edge, n)
+	for _, e := range edges {
+		if e.Src < n {
+			adj[e.Src] = append(adj[e.Src], e)
+		}
+	}
+	return adj
+}
+
+// ReferenceBFS returns hop distances from root over the given edge list
+// (Unreached for unreachable vertices).
+func ReferenceBFS(n uint64, edges []engine.Edge, root uint64) []float64 {
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	if root >= n {
+		return dist
+	}
+	adj := adjacency(n, edges)
+	dist[root] = 0
+	queue := []uint64{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[u] {
+			if dist[e.Dst] > dist[u]+1 {
+				dist[e.Dst] = dist[u] + 1
+				queue = append(queue, e.Dst)
+			}
+		}
+	}
+	return dist
+}
+
+// ReferenceSSSP returns shortest-path distances from root with non-negative
+// weights, by iterated relaxation to a fixed point.
+func ReferenceSSSP(n uint64, edges []engine.Edge, root uint64) []float64 {
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	if root >= n {
+		return dist
+	}
+	dist[root] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if e.Src >= n || e.Dst >= n || math.IsInf(dist[e.Src], 1) {
+				continue
+			}
+			if nd := dist[e.Src] + float64(e.Weight); nd < dist[e.Dst] {
+				dist[e.Dst] = nd
+				changed = true
+			}
+		}
+	}
+	return dist
+}
+
+// ReferenceCC returns the min-label fixed point of label propagation along
+// out-edges: label(v) = min id over {v} ∪ {u : v reachable from u}. On a
+// symmetric edge list this is weakly-connected components.
+func ReferenceCC(n uint64, edges []engine.Edge) []float64 {
+	label := make([]float64, n)
+	for i := range label {
+		label[i] = float64(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if e.Src >= n || e.Dst >= n {
+				continue
+			}
+			if label[e.Src] < label[e.Dst] {
+				label[e.Dst] = label[e.Src]
+				changed = true
+			}
+		}
+	}
+	return label
+}
+
+// HighestDegreeRoots returns up to k vertex ids with the largest
+// out-degrees in the edge list — the paper pre-collects 20 such roots per
+// dataset for the Fig. 19 update/analytics-ratio experiment.
+func HighestDegreeRoots(n uint64, edges []engine.Edge, k int) []uint64 {
+	deg := make(map[uint64]int)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	roots := make([]uint64, 0, len(deg))
+	for v := range deg {
+		roots = append(roots, v)
+	}
+	// Partial selection sort of the top k (k is small: 20).
+	if k > len(roots) {
+		k = len(roots)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(roots); j++ {
+			if deg[roots[j]] > deg[roots[best]] ||
+				(deg[roots[j]] == deg[roots[best]] && roots[j] < roots[best]) {
+				best = j
+			}
+		}
+		roots[i], roots[best] = roots[best], roots[i]
+	}
+	return roots[:k]
+}

@@ -1,0 +1,139 @@
+package algorithms
+
+import (
+	"testing"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/engine"
+)
+
+func csrOf(t *testing.T, edges []engine.Edge) *core.CSR {
+	t.Helper()
+	g := core.MustNew(core.DefaultConfig())
+	g.InsertBatch(edges)
+	return g.ExportCSR()
+}
+
+// bruteTriangles counts unordered triangles over the undirected closure of
+// an edge list by triple enumeration.
+func bruteTriangles(n uint64, edges []engine.Edge) uint64 {
+	adj := make([]map[uint64]bool, n)
+	for i := range adj {
+		adj[i] = make(map[uint64]bool)
+	}
+	for _, e := range edges {
+		if e.Src == e.Dst || e.Src >= n || e.Dst >= n {
+			continue
+		}
+		adj[e.Src][e.Dst] = true
+		adj[e.Dst][e.Src] = true
+	}
+	var count uint64
+	for a := uint64(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !adj[a][b] {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if adj[a][c] && adj[b][c] {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestCountTrianglesSmall(t *testing.T) {
+	// One triangle plus a pendant edge.
+	edges := []engine.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 0, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1},
+	}
+	tc := CountTriangles(csrOf(t, edges))
+	if tc.Total != 1 {
+		t.Fatalf("Total = %d, want 1", tc.Total)
+	}
+	for _, v := range []uint64{0, 1, 2} {
+		if tc.PerVertex[v] != 1 {
+			t.Fatalf("PerVertex[%d] = %d", v, tc.PerVertex[v])
+		}
+	}
+	if tc.PerVertex[3] != 0 {
+		t.Fatalf("pendant vertex in a triangle")
+	}
+}
+
+func TestCountTrianglesIgnoresDirectionDuplicatesLoops(t *testing.T) {
+	// Both directions stored, plus self-loops: still exactly one triangle.
+	edges := []engine.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 0, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1}, {Src: 2, Dst: 1, Weight: 1},
+		{Src: 2, Dst: 0, Weight: 1}, {Src: 0, Dst: 2, Weight: 1},
+		{Src: 0, Dst: 0, Weight: 1},
+	}
+	tc := CountTriangles(csrOf(t, edges))
+	if tc.Total != 1 {
+		t.Fatalf("Total = %d, want 1", tc.Total)
+	}
+}
+
+func TestCountTrianglesCompleteGraph(t *testing.T) {
+	// K6 has C(6,3) = 20 triangles; every vertex is in C(5,2) = 10.
+	var edges []engine.Edge
+	const k = 6
+	for a := uint64(0); a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			edges = append(edges, engine.Edge{Src: a, Dst: b, Weight: 1})
+		}
+	}
+	tc := CountTriangles(csrOf(t, edges))
+	if tc.Total != 20 {
+		t.Fatalf("K6 triangles = %d, want 20", tc.Total)
+	}
+	deg := UndirectedDegrees(csrOf(t, edges))
+	for v := uint64(0); v < k; v++ {
+		if tc.PerVertex[v] != 10 {
+			t.Fatalf("PerVertex[%d] = %d, want 10", v, tc.PerVertex[v])
+		}
+		if deg[v] != k-1 {
+			t.Fatalf("degree[%d] = %d", v, deg[v])
+		}
+		if cc := tc.ClusteringCoefficient(v, deg[v]); cc != 1 {
+			t.Fatalf("clustering coefficient = %g, want 1", cc)
+		}
+	}
+}
+
+func TestCountTrianglesMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		edges := randomEdges(32, 150, seed, false)
+		n := maxID(edges) + 1
+		want := bruteTriangles(n, edges)
+		tc := CountTriangles(csrOf(t, edges))
+		if tc.Total != want {
+			t.Fatalf("seed %d: Total = %d, want %d", seed, tc.Total, want)
+		}
+		// Per-vertex counts sum to 3x the total.
+		var sum uint64
+		for _, c := range tc.PerVertex {
+			sum += c
+		}
+		if sum != 3*want {
+			t.Fatalf("seed %d: per-vertex sum %d != 3*%d", seed, sum, want)
+		}
+	}
+}
+
+func TestCountTrianglesEmpty(t *testing.T) {
+	tc := CountTriangles(csrOf(t, nil))
+	if tc.Total != 0 || len(tc.PerVertex) != 0 {
+		t.Fatalf("empty graph: %+v", tc)
+	}
+	var zero TriangleCounts
+	if zero.ClusteringCoefficient(0, 1) != 0 {
+		t.Fatalf("degenerate clustering coefficient")
+	}
+}

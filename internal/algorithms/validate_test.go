@@ -1,0 +1,121 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/engine"
+)
+
+func TestValidateBFSAcceptsEngineOutput(t *testing.T) {
+	edges := randomEdges(128, 1500, 41, false)
+	edges = CanonicalizeEdges(edges)
+	store := core.MustNew(core.DefaultConfig())
+	for _, e := range edges {
+		store.InsertEdge(e.Src, e.Dst, e.Weight)
+	}
+	for _, mode := range allModes() {
+		eng := engine.MustNew(store, BFS(3), engine.Options{Mode: mode})
+		eng.RunFromScratch()
+		if v := ValidateBFS(eng.Values(), edges, 3); len(v) != 0 {
+			t.Fatalf("mode %v: valid BFS rejected: %v", mode, v)
+		}
+	}
+}
+
+func TestValidateSSSPAcceptsEngineOutput(t *testing.T) {
+	edges := randomEdges(128, 1500, 43, false)
+	edges = CanonicalizeEdges(edges)
+	store := core.MustNew(core.DefaultConfig())
+	for _, e := range edges {
+		store.InsertEdge(e.Src, e.Dst, e.Weight)
+	}
+	eng := engine.MustNew(store, SSSP(3), engine.Options{Mode: engine.Hybrid})
+	eng.RunFromScratch()
+	if v := ValidateSSSP(eng.Values(), edges, 3); len(v) != 0 {
+		t.Fatalf("valid SSSP rejected: %v", v)
+	}
+}
+
+func TestValidateCCAcceptsEngineOutput(t *testing.T) {
+	edges := randomEdges(64, 500, 47, true)
+	store := core.MustNew(core.DefaultConfig())
+	for _, e := range edges {
+		store.InsertEdge(e.Src, e.Dst, e.Weight)
+	}
+	eng := engine.MustNew(store, CC(), engine.Options{Mode: engine.FullProcessing})
+	eng.RunFromScratch()
+	if v := ValidateCC(eng.Values(), edges); len(v) != 0 {
+		t.Fatalf("valid CC rejected: %v", v)
+	}
+}
+
+func TestValidateBFSRejectsCorruption(t *testing.T) {
+	inf := math.Inf(1)
+	edges := []engine.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+	}
+	good := []float64{0, 1, 2}
+	if v := ValidateBFS(good, edges, 0); len(v) != 0 {
+		t.Fatalf("valid labeling rejected: %v", v)
+	}
+	cases := map[string][]float64{
+		"root not zero":             {1, 1, 2},
+		"edge skipped":              {0, 1, 3},
+		"no tight predecessor":      {0, 1, 1},
+		"negative distance":         {0, -1, 0},
+		"unreached with reached in": {0, inf, inf},
+	}
+	for name, dist := range cases {
+		if v := ValidateBFS(dist, edges, 0); len(v) == 0 {
+			t.Fatalf("case %q accepted", name)
+		}
+	}
+}
+
+func TestValidateSSSPRejectsNonTight(t *testing.T) {
+	edges := []engine.Edge{{Src: 0, Dst: 1, Weight: 5}}
+	if v := ValidateSSSP([]float64{0, 5}, edges, 0); len(v) != 0 {
+		t.Fatalf("valid rejected: %v", v)
+	}
+	if v := ValidateSSSP([]float64{0, 4}, edges, 0); len(v) == 0 {
+		t.Fatalf("distance below tight accepted")
+	}
+	if v := ValidateSSSP([]float64{0, 6}, edges, 0); len(v) == 0 {
+		t.Fatalf("relaxation violation accepted")
+	}
+}
+
+func TestValidateCCRejectsCorruption(t *testing.T) {
+	edges := []engine.Edge{{Src: 0, Dst: 1, Weight: 1}}
+	if v := ValidateCC([]float64{0, 0}, edges); len(v) != 0 {
+		t.Fatalf("valid rejected: %v", v)
+	}
+	cases := map[string][]float64{
+		"label above id":     {0, 2},
+		"non-representative": {0, 1.5},
+		"failed propagation": {0, 1},
+	}
+	for name, labels := range cases {
+		if v := ValidateCC(labels, edges); len(v) == 0 {
+			t.Fatalf("case %q accepted", name)
+		}
+	}
+}
+
+func TestValidateReportsAreCapped(t *testing.T) {
+	// A labeling wrong everywhere must not produce an unbounded report.
+	var edges []engine.Edge
+	dist := make([]float64, 1000)
+	for i := range dist {
+		dist[i] = -1
+	}
+	for i := uint64(0); i < 999; i++ {
+		edges = append(edges, engine.Edge{Src: i, Dst: i + 1, Weight: 1})
+	}
+	v := ValidateBFS(dist, edges, 0)
+	if len(v) == 0 || len(v) > 20 {
+		t.Fatalf("report size = %d", len(v))
+	}
+}

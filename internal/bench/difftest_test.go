@@ -1,0 +1,215 @@
+package bench
+
+// Differential integration tests: GraphTinker and STINGER fed identical
+// streams must expose identical edge sets, degrees and lookup results, and
+// the engine must compute identical fixed points over either store — the
+// property every figure comparison silently relies on.
+
+import (
+	"sort"
+	"testing"
+
+	"graphtinker/internal/algorithms"
+	"graphtinker/internal/core"
+	"graphtinker/internal/datasets"
+	"graphtinker/internal/engine"
+	"graphtinker/internal/stinger"
+)
+
+func TestStoresAgreeOnDatasetStream(t *testing.T) {
+	opts := QuickOptions()
+	d, err := datasets.ByName("RMAT_500K_8M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gt := core.MustNew(gtConfig())
+	st := stinger.MustNew(stinger.DefaultConfig())
+	for _, b := range batches {
+		gtNew := gt.InsertBatch(b)
+		stNew := st.InsertBatch(toStinger(b))
+		if gtNew != stNew {
+			t.Fatalf("new-edge counts diverged: %d vs %d", gtNew, stNew)
+		}
+	}
+	if gt.NumEdges() != st.NumEdges() {
+		t.Fatalf("edge counts: GT %d vs ST %d", gt.NumEdges(), st.NumEdges())
+	}
+
+	type pair struct{ s, d uint64 }
+	gtSet := make(map[pair]float32)
+	gt.ForEachEdge(func(src, dst uint64, w float32) bool {
+		gtSet[pair{src, dst}] = w
+		return true
+	})
+	matched := 0
+	st.ForEachEdge(func(src, dst uint64, w float32) bool {
+		if gw, ok := gtSet[pair{src, dst}]; !ok || gw != w {
+			t.Fatalf("edge (%d,%d,%g) present in STINGER, GT has (%g,%v)", src, dst, w, gw, ok)
+		}
+		matched++
+		return true
+	})
+	if matched != len(gtSet) {
+		t.Fatalf("edge sets differ: %d vs %d", matched, len(gtSet))
+	}
+
+	// Degrees agree for every source GT knows about.
+	gt.ForEachSource(func(src uint64, deg uint32) bool {
+		if st.OutDegree(src) != deg {
+			t.Fatalf("degree(%d): GT %d vs ST %d", src, deg, st.OutDegree(src))
+		}
+		return true
+	})
+
+	// Deletions keep both in lockstep.
+	all := gt.Edges()
+	for i, e := range all {
+		if i%3 != 0 {
+			continue
+		}
+		a := gt.DeleteEdge(e.Src, e.Dst)
+		b := st.DeleteEdge(e.Src, e.Dst)
+		if a != b {
+			t.Fatalf("delete(%d,%d): GT %v vs ST %v", e.Src, e.Dst, a, b)
+		}
+	}
+	if gt.NumEdges() != st.NumEdges() {
+		t.Fatalf("post-delete edge counts differ")
+	}
+}
+
+func TestEnginesAgreeAcrossStores(t *testing.T) {
+	opts := QuickOptions()
+	d, err := datasets.ByName("RMAT_1M_10M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := pickRoot(batches)
+
+	for _, alg := range []string{"bfs", "sssp", "cc"} {
+		prog, err := program(alg, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt := core.MustNew(gtConfig())
+		st := stinger.MustNew(stinger.DefaultConfig())
+		for _, b := range batches {
+			gt.InsertBatch(b)
+			st.InsertBatch(toStinger(b))
+		}
+		ge := engine.MustNew(gt, prog, engine.Options{Mode: engine.Hybrid})
+		se := engine.MustNew(st, prog, engine.Options{Mode: engine.FullProcessing})
+		ge.RunFromScratch()
+		se.RunFromScratch()
+		if ge.NumVertices() != se.NumVertices() {
+			t.Fatalf("%s: vertex spaces differ", alg)
+		}
+		for v := uint64(0); v < ge.NumVertices(); v++ {
+			if ge.Value(v) != se.Value(v) {
+				t.Fatalf("%s: val[%d]: GT-store %g vs ST-store %g", alg, v, ge.Value(v), se.Value(v))
+			}
+		}
+
+		// Implementation-free structural audit of the result (Graph500
+		// discipline): validate against the store's live edge set.
+		live := gt.Edges()
+		liveEng := make([]engine.Edge, len(live))
+		for i, e := range live {
+			liveEng[i] = engine.Edge(e)
+		}
+		var violations []string
+		switch alg {
+		case "bfs":
+			violations = algorithms.ValidateBFS(ge.Values(), liveEng, root)
+		case "sssp":
+			violations = algorithms.ValidateSSSP(ge.Values(), liveEng, root)
+		case "cc":
+			violations = algorithms.ValidateCC(ge.Values(), liveEng)
+		}
+		if len(violations) != 0 {
+			t.Fatalf("%s result failed structural validation: %v", alg, violations)
+		}
+	}
+}
+
+func TestParallelShardsAgreeWithDatasetStream(t *testing.T) {
+	opts := QuickOptions()
+	d, err := datasets.ByName("Hollywood-2009")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := core.MustNew(gtConfig())
+	par, err := core.NewParallel(gtConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		single.InsertBatch(b)
+		par.InsertBatch(b)
+	}
+	if single.NumEdges() != par.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", single.NumEdges(), par.NumEdges())
+	}
+	se := single.Edges()
+	var pe []core.Edge
+	par.ForEachEdge(func(src, dst uint64, w float32) bool {
+		pe = append(pe, core.Edge{Src: src, Dst: dst, Weight: w})
+		return true
+	})
+	sortCoreEdges(se)
+	sortCoreEdges(pe)
+	if len(se) != len(pe) {
+		t.Fatalf("edge sets differ in size")
+	}
+	for i := range se {
+		if se[i] != pe[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, se[i], pe[i])
+		}
+	}
+}
+
+func sortCoreEdges(es []core.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+}
+
+func TestTriangleCountsStableAcrossConfigs(t *testing.T) {
+	// CSR-based triangle counting must be geometry-invariant.
+	opts := QuickOptions()
+	d, _ := datasets.ByName("RMAT_500K_8M")
+	batches, err := opts.materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []uint64
+	for _, pw := range []int{16, 64, 256} {
+		g := core.MustNew(gtConfig(func(c *core.Config) { c.PageWidth = pw }))
+		for _, b := range batches {
+			g.InsertBatch(b)
+		}
+		counts = append(counts, algorithms.CountTriangles(g.ExportCSR()).Total)
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("triangle counts vary with geometry: %v", counts)
+	}
+	if counts[0] == 0 {
+		t.Fatalf("RMAT graph should contain triangles")
+	}
+}

@@ -1,0 +1,122 @@
+package bench
+
+// Extension experiments beyond the paper's exhibits: ablations of the
+// design choices DESIGN.md calls out. The paper fixes WorkblockSize=4 and
+// CALGroupSize=1024 after internal tuning and turns RHH off only inside
+// the delete-and-compact mechanism; these drivers quantify each choice.
+
+import (
+	"graphtinker/internal/core"
+	"graphtinker/internal/datasets"
+	"graphtinker/internal/engine"
+)
+
+// ExtWorkblock sweeps the Workblock size — the granularity at which edge
+// cells are retrieved for the find/RHH process. Larger workblocks raise
+// the chance an insertion completes in one retrieval but fetch more data
+// per retrieval (Sec. III.B's stated tradeoff); the driver reports both
+// the throughput and the retrieval counters that tradeoff trades.
+func ExtWorkblock(opts Options) (Table, error) {
+	d, err := datasets.ByName("Hollywood-2009")
+	if err != nil {
+		return Table{}, err
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "ext-wb",
+		Title:   "Workblock-size ablation: insert throughput and retrieval traffic, Hollywood-2009 stand-in",
+		Columns: []string{"workblock", "Medges/s", "wb fetches/op", "cells/op", "bytes/fetch"},
+	}
+	for _, wb := range []int{1, 2, 4, 8} {
+		cfg := gtConfig(func(c *core.Config) { c.WorkblockSize = wb })
+		g := core.MustNew(cfg)
+		ts := insertTimed(gtStore{g}, batches)
+		st := g.Stats()
+		ops := float64(st.Inserts + st.Updates)
+		const cellBytes = 23
+		t.AddRow(itoa(wb), f2(totalMEPS(ts)),
+			f2(float64(st.WorkblocksRetrieved)/ops),
+			f2(float64(st.CellsInspected)/ops),
+			itoa(wb*cellBytes))
+	}
+	t.AddNote("larger workblocks = fewer fetches x more bytes each; the paper fixes 4 as the balance")
+	return t, nil
+}
+
+// ExtCALGroup sweeps the CAL group size — how many consecutive dense
+// source ids share one CAL block chain. Tiny groups degenerate toward
+// STINGER's per-vertex blocks (poor packing early in a graph's life);
+// huge groups serialize all appends into one chain (no effect
+// single-threaded, but group count bounds shard-ability).
+func ExtCALGroup(opts Options) (Table, error) {
+	d, err := datasets.ByName("Hollywood-2009")
+	if err != nil {
+		return Table{}, err
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		return Table{}, err
+	}
+	root := pickRoot(batches)
+	prog, err := program("bfs", root)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "ext-calgroup",
+		Title:   "CAL group-size ablation: insert throughput, FP analytics, CAL block count",
+		Columns: []string{"group size", "insert Medges/s", "bfs-FP Medges/s", "CAL blocks", "CAL fill"},
+	}
+	for _, gs := range []int{16, 128, 1024, 8192} {
+		cfg := gtConfig(func(c *core.Config) { c.CALGroupSize = gs })
+		g := core.MustNew(cfg)
+		ts := insertTimed(gtStore{g}, batches)
+
+		g2 := core.MustNew(cfg)
+		res := analyticsWorkload(g2, gtStore{g2}, batches, prog, engine.FullProcessing, opts.Threshold)
+		occ := g2.OccupancyReport()
+		t.AddRow(itoa(gs), f2(totalMEPS(ts)), f2(res.WorkMEPS()),
+			itoa(occ.CALLiveBlocks), f2(occ.CALFill()))
+	}
+	t.AddNote("the paper's example uses 1024; packing is insensitive above ~128 on insert-only streams")
+	return t, nil
+}
+
+// ExtRHH contrasts Robin Hood placement against the first-fit placement
+// the delete-and-compact mechanism falls back to, on an insert-only
+// stream: RHH pays swaps to flatten the probe-distance distribution.
+func ExtRHH(opts Options) (Table, error) {
+	d, err := datasets.ByName("Hollywood-2009")
+	if err != nil {
+		return Table{}, err
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "ext-rhh",
+		Title:   "Robin Hood vs first-fit placement (insert-only stream), Hollywood-2009 stand-in",
+		Columns: []string{"placement", "Medges/s", "swaps", "mean probe", "max probe", "mean generation"},
+	}
+	run := func(name string, mode core.DeleteMode) error {
+		cfg := gtConfig(func(c *core.Config) { c.DeleteMode = mode })
+		g := core.MustNew(cfg)
+		ts := insertTimed(gtStore{g}, batches)
+		h := g.AnalyzeProbes()
+		t.AddRow(name, f2(totalMEPS(ts)), itoa(int(g.Stats().RHHSwaps)),
+			f2(h.MeanProbe()), itoa(h.MaxProbe), f2(h.MeanGeneration()))
+		return nil
+	}
+	if err := run("robin-hood", core.DeleteOnly); err != nil {
+		return t, err
+	}
+	if err := run("first-fit", core.DeleteAndCompact); err != nil {
+		return t, err
+	}
+	t.AddNote("RHH equalizes probe distances (lower variance) at the cost of swap writes")
+	return t, nil
+}

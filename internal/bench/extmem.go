@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"graphtinker/internal/core"
+	"graphtinker/internal/datasets"
+	"graphtinker/internal/stinger"
+)
+
+// ExtMemory compares the resident footprint per live edge across the
+// structures and configurations — the space side of the compaction story
+// the paper tells in time (Sec. III.B's "highly compacted representation"
+// refers to access contiguity; this table shows what the CAL mirror and
+// the PAGEWIDTH-wide edgeblocks cost in bytes).
+func ExtMemory(opts Options) (Table, error) {
+	t := Table{
+		ID:    "ext-mem",
+		Title: "Memory per live edge after full load (bytes/edge)",
+		Columns: []string{
+			"dataset", "edges", "GT", "GT-noCAL", "GT pw16", "STINGER", "GT fill", "pw16 fill",
+		},
+	}
+	for _, d := range datasets.Table1() {
+		batches, err := opts.materialize(d)
+		if err != nil {
+			return t, err
+		}
+		loadGT := func(mutate ...func(*core.Config)) *core.GraphTinker {
+			g := core.MustNew(gtConfig(mutate...))
+			for _, b := range batches {
+				g.InsertBatch(b)
+			}
+			return g
+		}
+		g := loadGT()
+		gNoCAL := loadGT(func(c *core.Config) { c.EnableCAL = false })
+		gPW16 := loadGT(func(c *core.Config) { c.PageWidth = 16 })
+		st := stinger.MustNew(stinger.DefaultConfig())
+		for _, b := range batches {
+			st.InsertBatch(toStinger(b))
+		}
+
+		perEdge := func(bytes uint64) float64 {
+			if g.NumEdges() == 0 {
+				return 0
+			}
+			return float64(bytes) / float64(g.NumEdges())
+		}
+		t.AddRow(d.Name, itoa(int(g.NumEdges())),
+			f1(perEdge(g.Memory().Total())),
+			f1(perEdge(gNoCAL.Memory().Total())),
+			f1(perEdge(gPW16.Memory().Total())),
+			f1(perEdge(st.MemoryBytes())),
+			f2(g.OccupancyReport().Fill()),
+			f2(gPW16.OccupancyReport().Fill()),
+		)
+	}
+	t.AddNote("GraphTinker trades space (wide, partly-empty edgeblocks + CAL copy) for probe distance and stream contiguity")
+	return t, nil
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"graphtinker/internal/core"
+	"graphtinker/internal/datasets"
+	"graphtinker/internal/stinger"
+)
+
+// Fig08 reproduces the insertion-throughput-vs-input-size experiment:
+// single-threaded batch loading of the Hollywood-2009 stand-in into
+// GraphTinker with CAL, GraphTinker without CAL, and STINGER, reporting
+// per-batch throughput. The paper's shape: GT-noCAL > GT+CAL > STINGER at
+// every batch; GT degrades ~34% fifth-to-last, STINGER ~72%.
+func Fig08(opts Options) (Table, error) {
+	d, err := datasets.ByName("Hollywood-2009")
+	if err != nil {
+		return Table{}, err
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		return Table{}, err
+	}
+
+	withCAL := insertTimed(gtStore{core.MustNew(gtConfig())}, batches)
+	noCAL := insertTimed(gtStore{core.MustNew(gtConfig(func(c *core.Config) { c.EnableCAL = false }))}, batches)
+	sting := insertTimed(stStore{stinger.MustNew(stinger.DefaultConfig())}, batches)
+
+	t := Table{
+		ID:      "fig8",
+		Title:   "Insertion throughput vs input size, Hollywood-2009 stand-in, 1 thread (Medges/s)",
+		Columns: []string{"batch", "edges", "GT+CAL", "GT-noCAL", "STINGER", "GT+CAL/STINGER", "GT-noCAL/STINGER"},
+	}
+	for i := range batches {
+		ratioCAL, ratioNo := 0.0, 0.0
+		if s := sting[i].MEPS(); s > 0 {
+			ratioCAL = withCAL[i].MEPS() / s
+			ratioNo = noCAL[i].MEPS() / s
+		}
+		t.AddRow(
+			itoa(i+1), itoa(len(batches[i])),
+			f2(withCAL[i].MEPS()), f2(noCAL[i].MEPS()), f2(sting[i].MEPS()),
+			f2(ratioCAL), f2(ratioNo),
+		)
+	}
+	mid := len(batches) / 2
+	last := len(batches) - 1
+	t.AddNote("GT+CAL degradation (batch %d→%d): %.0f%% (paper: ~34%%)", mid+1, last+1, 100*degradation(withCAL, mid, last))
+	t.AddNote("STINGER degradation (batch %d→%d): %.0f%% (paper: ~72%%)", mid+1, last+1, 100*degradation(sting, mid, last))
+	t.AddNote("overall: GT+CAL %.2f, GT-noCAL %.2f, STINGER %.2f Medges/s (paper: up to 2.7x / 3.3x over STINGER)",
+		totalMEPS(withCAL), totalMEPS(noCAL), totalMEPS(sting))
+	return t, nil
+}

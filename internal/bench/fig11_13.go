@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"graphtinker/internal/core"
+	"graphtinker/internal/datasets"
+	"graphtinker/internal/engine"
+	"graphtinker/internal/stinger"
+)
+
+// FigAnalytics reproduces Figs. 11 (BFS), 12 (SSSP) and 13 (CC): for every
+// dataset, edges are loaded batch by batch and the algorithm runs after
+// every batch; the four series are GraphTinker under the hybrid, full and
+// incremental engines, and STINGER under the full engine (the paper's
+// STINGER comparison point). The paper's shape: hybrid >= max(FP, IP)
+// everywhere; GT-FP beats STINGER by up to 10x; IP loses to FP on
+// CC/RMAT_500K_8M-style large-frontier workloads.
+func FigAnalytics(opts Options, alg string) (Table, error) {
+	id := map[string]string{"bfs": "fig11", "sssp": "fig12", "cc": "fig13"}[alg]
+	t := Table{
+		ID:    id,
+		Title: "Processing throughput for " + alg + " (Medges/s of graph processed per batch run)",
+		Columns: []string{
+			"dataset", "GT-hybrid", "GT-full", "GT-incr", "STINGER-full",
+			"hybrid FP iters", "hybrid IP iters", "GTfull/ST", "hyb/best(FP,IP)",
+		},
+	}
+	for _, d := range datasets.Table1() {
+		batches, err := opts.materialize(d)
+		if err != nil {
+			return t, err
+		}
+		root := pickRoot(batches)
+		prog, err := program(alg, root)
+		if err != nil {
+			return t, err
+		}
+
+		run := func(mode engine.Mode) workloadResult {
+			return bestOf(opts.Repeats, func() workloadResult {
+				g := core.MustNew(gtConfig())
+				return analyticsWorkload(g, gtStore{g}, batches, prog, mode, opts.Threshold)
+			})
+		}
+		hyb := run(engine.Hybrid)
+		full := run(engine.FullProcessing)
+		incr := run(engine.IncrementalProcessing)
+
+		stRes := bestOf(opts.Repeats, func() workloadResult {
+			st := stinger.MustNew(stinger.DefaultConfig())
+			return analyticsWorkload(st, stStore{st}, batches, prog, engine.FullProcessing, opts.Threshold)
+		})
+
+		ratio := 0.0
+		if s := stRes.WorkMEPS(); s > 0 {
+			ratio = full.WorkMEPS() / s
+		}
+		bestPure := full.WorkMEPS()
+		if incr.WorkMEPS() > bestPure {
+			bestPure = incr.WorkMEPS()
+		}
+		hybGain := 0.0
+		if bestPure > 0 {
+			hybGain = hyb.WorkMEPS() / bestPure
+		}
+		t.AddRow(d.Name,
+			f2(hyb.WorkMEPS()), f2(full.WorkMEPS()), f2(incr.WorkMEPS()),
+			f2(stRes.WorkMEPS()),
+			itoa(hyb.FullIterations), itoa(hyb.IncrementalIterations),
+			f2(ratio), f2(hybGain))
+	}
+	t.AddNote("paper shape: hybrid best everywhere; GT-full up to 10x STINGER; IP can lose to FP on large frontiers (CC)")
+	return t, nil
+}

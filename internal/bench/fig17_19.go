@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"graphtinker/internal/algorithms"
+	"graphtinker/internal/core"
+	"graphtinker/internal/datasets"
+	"graphtinker/internal/engine"
+)
+
+// Fig17 reproduces the PAGEWIDTH-vs-insertion-throughput sweep on the
+// Hollywood-2009 stand-in. The paper's shape: larger PAGEWIDTH gives higher
+// and more stable insertion throughput (fewer RHH collisions per
+// edgeblock).
+func Fig17(opts Options) (Table, error) {
+	d, err := datasets.ByName("Hollywood-2009")
+	if err != nil {
+		return Table{}, err
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "fig17",
+		Title:   "Effect of PAGEWIDTH on insertion throughput, Hollywood-2009 stand-in (Medges/s)",
+		Columns: []string{"PAGEWIDTH", "total", "first batch", "last batch", "degradation"},
+	}
+	for _, pw := range opts.PageWidths {
+		cfg := gtConfig(func(c *core.Config) { c.PageWidth = pw })
+		ts := insertTimed(gtStore{core.MustNew(cfg)}, batches)
+		last := len(ts) - 1
+		t.AddRow(itoa(pw), f2(totalMEPS(ts)), f2(ts[0].MEPS()), f2(ts[last].MEPS()),
+			f1(100*degradation(ts, 0, last))+"%")
+	}
+	t.AddNote("paper shape: throughput and stability both increase with PAGEWIDTH (256 most stable)")
+	return t, nil
+}
+
+// Fig18 reproduces the PAGEWIDTH-vs-analytics sweep: BFS runs after every
+// batch with the engine in incremental-processing mode (the mode that
+// retrieves from the EdgeblockArray). The paper's shape: analytics
+// throughput *decreases* as PAGEWIDTH grows (sparser edge packing).
+func Fig18(opts Options) (Table, error) {
+	d, err := datasets.ByName("Hollywood-2009")
+	if err != nil {
+		return Table{}, err
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		return Table{}, err
+	}
+	root := pickRoot(batches)
+	prog, err := program("bfs", root)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "fig18",
+		Title:   "Effect of PAGEWIDTH on BFS throughput (incremental mode), Hollywood-2009 stand-in (Medges/s)",
+		Columns: []string{"PAGEWIDTH", "throughput", "edges loaded", "fill"},
+	}
+	for _, pw := range opts.PageWidths {
+		cfg := gtConfig(func(c *core.Config) { c.PageWidth = pw })
+		g := core.MustNew(cfg)
+		res := analyticsWorkload(g, gtStore{g}, batches, prog, engine.IncrementalProcessing, opts.Threshold)
+		t.AddRow(itoa(pw), f2(res.ThroughputMEPS()), itoa(int(res.EdgesLoaded)),
+			f2(g.OccupancyReport().Fill()))
+	}
+	t.AddNote("paper shape: smaller PAGEWIDTH = more compact structure = higher analytics throughput")
+	return t, nil
+}
+
+// Fig19 reproduces the optimal-PAGEWIDTH study: for every dataset and every
+// PAGEWIDTH, the insertion stream is intercepted u times to run a BFS
+// analytics each (update:analytics ratio u:a), rotating roots through the
+// dataset's highest-degree vertices; the elapsed time is averaged across
+// the ratios. The paper's shape: PAGEWIDTH 64 is the best overall balance;
+// 8 is worst on large datasets (update-bound), 256 loses on analytics.
+func Fig19(opts Options) (Table, error) {
+	t := Table{
+		ID:      "fig19",
+		Title:   "Update/analytics balance across PAGEWIDTHs: elapsed ms averaged over ratios (lower is better)",
+		Columns: append([]string{"dataset"}, pwColumns(opts.Fig19PageWidths)...),
+	}
+	for _, d := range datasets.Table1() {
+		batches, err := opts.materialize(d)
+		if err != nil {
+			return t, err
+		}
+		roots := algorithms.HighestDegreeRoots(maxIDOf(batches)+1, flatten(batches), opts.Roots)
+		if len(roots) == 0 {
+			roots = []uint64{0}
+		}
+		row := []string{d.Name}
+		for _, pw := range opts.Fig19PageWidths {
+			var totalSec float64
+			for _, ratio := range opts.Ratios {
+				totalSec += ratioExperiment(opts, pw, batches, roots, ratio)
+			}
+			avgMS := totalSec / float64(len(opts.Ratios)) * 1000
+			row = append(row, f1(avgMS))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper shape: PAGEWIDTH 64 best overall; 8 worst on large datasets; large PWs lose on analytics")
+	return t, nil
+}
+
+func pwColumns(pws []int) []string {
+	cols := make([]string, len(pws))
+	for i, pw := range pws {
+		cols[i] = "PW" + itoa(pw)
+	}
+	return cols
+}
+
+func maxIDOf(batches [][]core.Edge) uint64 {
+	var m uint64
+	for _, b := range batches {
+		for _, e := range b {
+			if e.Src > m {
+				m = e.Src
+			}
+			if e.Dst > m {
+				m = e.Dst
+			}
+		}
+	}
+	return m
+}
+
+// ratioExperiment runs one (dataset, PAGEWIDTH, ratio) cell of the Fig. 19
+// grid and returns the elapsed seconds: batches are inserted in order, the
+// stream is intercepted Updates times (evenly), and each interception runs
+// Analytics BFS analytics, each from a different high-degree root.
+func ratioExperiment(opts Options, pw int, batches [][]core.Edge, roots []uint64, ratio Ratio) float64 {
+	cfg := gtConfig(func(c *core.Config) { c.PageWidth = pw })
+	g := core.MustNew(cfg)
+
+	interceptions := ratio.Updates
+	if interceptions < 1 {
+		interceptions = 1
+	}
+	every := len(batches) / interceptions
+	if every < 1 {
+		every = 1
+	}
+	rootIdx := 0
+	return timeIt(func() {
+		for i, b := range batches {
+			g.InsertBatch(b)
+			if (i+1)%every == 0 {
+				for a := 0; a < ratio.Analytics; a++ {
+					root := roots[rootIdx%len(roots)]
+					rootIdx++
+					eng := engine.MustNew(g, algorithms.BFS(root),
+						engine.Options{Mode: engine.FullProcessing, Threshold: opts.Threshold})
+					eng.RunFromScratch()
+				}
+			}
+		}
+	})
+}

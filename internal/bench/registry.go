@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one registered table/figure driver.
+type Experiment struct {
+	// ID is the flag value that selects the experiment ("fig8", ...).
+	ID string
+	// Paper describes the corresponding exhibit in the paper.
+	Paper string
+	// Run executes the experiment and returns its table.
+	Run func(Options) (Table, error)
+}
+
+// Registry returns every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: graph datasets under evaluation", Table1},
+		{"fig8", "Fig. 8: insertion throughput vs input size (Hollywood-2009)", Fig08},
+		{"fig9", "Fig. 9: insertion throughput across datasets", Fig09},
+		{"fig10", "Fig. 10: update throughput vs CPU cores", Fig10},
+		{"fig11", "Fig. 11: BFS processing throughput", func(o Options) (Table, error) { return FigAnalytics(o, "bfs") }},
+		{"fig12", "Fig. 12: SSSP processing throughput", func(o Options) (Table, error) { return FigAnalytics(o, "sssp") }},
+		{"fig13", "Fig. 13: CC processing throughput", func(o Options) (Table, error) { return FigAnalytics(o, "cc") }},
+		{"ablation", "Sec. V.B: SGH/CAL feature contribution study", Ablation},
+		{"fig14", "Fig. 14: edge-deletion throughput", Fig14},
+		{"fig15", "Fig. 15: BFS throughput under deletions", Fig15},
+		{"fig16", "Fig. 16: average analytics throughput under deletions", Fig16},
+		{"fig17", "Fig. 17: PAGEWIDTH vs insertion throughput", Fig17},
+		{"fig18", "Fig. 18: PAGEWIDTH vs BFS (incremental) throughput", Fig18},
+		{"fig19", "Fig. 19: optimal PAGEWIDTH across update:analytics ratios", Fig19},
+		{"ext-wb", "extension: Workblock-size ablation (Sec. III.B tradeoff)", ExtWorkblock},
+		{"ext-calgroup", "extension: CAL group-size ablation", ExtCALGroup},
+		{"ext-rhh", "extension: Robin Hood vs first-fit placement", ExtRHH},
+		{"ext-vc", "extension: edge-centric vs vertex-centric engines (paper future work)", ExtVC},
+		{"ext-mem", "extension: memory footprint per edge across structures", ExtMemory},
+		{"ext-predictor", "extension: inference-box prediction accuracy vs oracle", ExtPredictor},
+		{"ext-scaling", "extension: parallel analytics engine scaling", ExtScaling},
+	}
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+}
+
+// IDs lists the registered experiment ids, sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,113 @@
+// Package bench contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation section (Sec. V), at a configurable
+// dataset scale. Each driver returns a Table whose rows mirror the series
+// the paper plots; cmd/gtbench prints them and EXPERIMENTS.md records a
+// full run against the paper's reported shapes.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result in printable form.
+type Table struct {
+	// ID is the experiment identifier ("fig8", "table1", ...).
+	ID string
+	// Title describes what the paper's corresponding exhibit shows.
+	Title string
+	// Columns and Rows hold the tabular data, already formatted.
+	Columns []string
+	Rows    [][]string
+	// Notes carry derived observations (degradation percentages, speedup
+	// factors) that the paper calls out in prose.
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends one derived observation.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned ASCII.
+func (t Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-ish comma-separated values (header
+// row first; notes omitted). Cells containing commas or quotes are quoted.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// f2 formats a float with two decimals; f1 with one; itoa an int.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func itoa(v int) string   { return fmt.Sprintf("%d", v) }
+
+// meps converts an edge count and seconds into million-edges-per-second.
+func meps(edges uint64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(edges) / seconds / 1e6
+}

@@ -1,0 +1,213 @@
+package core
+
+// Structure analysis: probe-distance and generation histograms over the
+// live structure. These quantify the paper's central claim — that the
+// hashing hierarchy keeps the distance travelled when following edges
+// short (O(log n) generations for an n-degree vertex) where adjacency-list
+// chains grow linearly — and drive the diagnostics cmd/gtload prints.
+
+import "fmt"
+
+// ProbeHistogram summarizes where live edges sit relative to their hash
+// positions.
+type ProbeHistogram struct {
+	// ByProbe[p] counts live cells whose within-subblock Robin Hood probe
+	// distance is p (index bounded by SubblockSize).
+	ByProbe []uint64
+	// ByGeneration[g] counts live cells stored g branch-outs below their
+	// vertex's top-parent edgeblock.
+	ByGeneration []uint64
+	// MaxProbe and MaxGeneration are the observed maxima.
+	MaxProbe      int
+	MaxGeneration int
+}
+
+// MeanProbe is the average within-subblock probe distance of live cells.
+func (h ProbeHistogram) MeanProbe() float64 {
+	var total, count uint64
+	for p, c := range h.ByProbe {
+		total += uint64(p) * c
+		count += c
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}
+
+// MeanGeneration is the average descent depth of live cells.
+func (h ProbeHistogram) MeanGeneration() float64 {
+	var total, count uint64
+	for g, c := range h.ByGeneration {
+		total += uint64(g) * c
+		count += c
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}
+
+// AnalyzeProbes walks the whole structure and histograms probe distances
+// and generations of every live edge.
+func (gt *GraphTinker) AnalyzeProbes() ProbeHistogram {
+	h := ProbeHistogram{
+		ByProbe:      make([]uint64, gt.geo.subblockSize),
+		ByGeneration: make([]uint64, 1),
+	}
+	for d := 0; d < len(gt.topBlock); d++ {
+		blk := gt.topBlock[d]
+		if blk == noBlock {
+			continue
+		}
+		gt.analyzeBlock(blk, 0, &h)
+	}
+	for p := len(h.ByProbe) - 1; p >= 0; p-- {
+		if h.ByProbe[p] > 0 {
+			h.MaxProbe = p
+			break
+		}
+	}
+	h.MaxGeneration = len(h.ByGeneration) - 1
+	return h
+}
+
+func (gt *GraphTinker) analyzeBlock(blk int32, gen int, h *ProbeHistogram) {
+	for len(h.ByGeneration) <= gen {
+		h.ByGeneration = append(h.ByGeneration, 0)
+	}
+	cells := gt.eba.blockCells(blk)
+	for i := range cells {
+		if cells[i].state == cellOccupied {
+			p := int(cells[i].probe)
+			if p < len(h.ByProbe) {
+				h.ByProbe[p]++
+			}
+			h.ByGeneration[gen]++
+		}
+	}
+	for _, child := range gt.eba.blockChildren(blk) {
+		if child != noBlock {
+			gt.analyzeBlock(child, gen+1, h)
+		}
+	}
+}
+
+// DegreeHistogram buckets the out-degrees of non-empty sources by powers
+// of two: bucket k counts vertices with degree in [2^k, 2^(k+1)).
+func (gt *GraphTinker) DegreeHistogram() []uint64 {
+	var buckets []uint64
+	gt.ForEachSource(func(src uint64, degree uint32) bool {
+		k := 0
+		for d := degree; d > 1; d >>= 1 {
+			k++
+		}
+		for len(buckets) <= k {
+			buckets = append(buckets, 0)
+		}
+		buckets[k]++
+		return true
+	})
+	return buckets
+}
+
+// CheckInvariants performs a full structural self-check, returning a list
+// of violations (empty when healthy). It verifies that block/subblock
+// occupancy counters match the cells, that CAL back-pointers are mutually
+// consistent, that per-vertex degrees match reachable live cells, and that
+// every live edge is findable along its tree-hash path. Intended for tests
+// and debugging, not hot paths.
+func (gt *GraphTinker) CheckInvariants() []string {
+	var violations []string
+	report := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// Occupancy counters vs actual cells.
+	tops := make(map[int32]struct{}, len(gt.topBlock))
+	for _, b := range gt.topBlock {
+		if b != noBlock {
+			tops[b] = struct{}{}
+		}
+	}
+	var live uint64
+	for b := 0; b < gt.eba.numBlocks; b++ {
+		blk := int32(b)
+		if gt.eba.parent[b] == noBlock {
+			if _, isTop := tops[blk]; !isTop {
+				continue // freed block awaiting reuse
+			}
+		}
+		var blockOcc int32
+		for sb := 0; sb < gt.geo.subblocksPerBlock; sb++ {
+			cells := gt.eba.subblockCells(blk, sb)
+			var occ uint8
+			for i := range cells {
+				if cells[i].state == cellOccupied {
+					occ++
+				}
+			}
+			if got := gt.eba.subOccOf(blk, sb); got != occ {
+				report("block %d subblock %d: subOcc=%d, actual %d", b, sb, got, occ)
+			}
+			blockOcc += int32(occ)
+		}
+		if got := gt.eba.occupancy[b]; got != blockOcc {
+			report("block %d: occupancy=%d, actual %d", b, got, blockOcc)
+		}
+		live += uint64(blockOcc)
+	}
+	if live != gt.numEdges {
+		report("live cells %d != numEdges %d", live, gt.numEdges)
+	}
+
+	// Degrees and findability.
+	var degreeSum uint64
+	gt.ForEachSource(func(src uint64, degree uint32) bool {
+		degreeSum += uint64(degree)
+		n := 0
+		gt.ForEachOutEdge(src, func(dst uint64, w float32) bool {
+			n++
+			if _, ok := gt.FindEdge(src, dst); !ok {
+				report("edge (%d,%d) reachable by walk but not by FIND", src, dst)
+			}
+			return true
+		})
+		if uint32(n) != degree {
+			report("vertex %d: degree=%d, walk found %d", src, degree, n)
+		}
+		return true
+	})
+	if degreeSum != gt.numEdges {
+		report("degree sum %d != numEdges %d", degreeSum, gt.numEdges)
+	}
+
+	// CAL mirror consistency.
+	if gt.cal != nil {
+		if gt.cal.liveEdges != gt.numEdges {
+			report("CAL live %d != numEdges %d", gt.cal.liveEdges, gt.numEdges)
+		}
+		calSeen := uint64(0)
+		for g := range gt.cal.groupHead {
+			for b := gt.cal.groupHead[g]; b != noBlock; b = gt.cal.next[b] {
+				for s := int32(0); s < gt.cal.used[b]; s++ {
+					e := &gt.cal.blockEntries(b)[s]
+					if !e.valid {
+						continue
+					}
+					calSeen++
+					cell := gt.eba.cellAt(e.owner)
+					if cell.state != cellOccupied || cell.dst != e.dst {
+						report("CAL entry (%d,%d) owner cell mismatch", e.src, e.dst)
+					} else if cell.calPtr != makeCALPtr(b, s) {
+						report("CAL entry (%d,%d) back-pointer broken", e.src, e.dst)
+					}
+				}
+			}
+		}
+		if calSeen != gt.numEdges {
+			report("CAL live entries %d != numEdges %d", calSeen, gt.numEdges)
+		}
+	}
+	return violations
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+)
+
+// benchEdges synthesizes a skewed (RMAT-like) edge stream without importing
+// the generator packages (core must stay dependency-free).
+func benchEdges(n int, vertices uint64, seed uint64) []Edge {
+	r := &testRand{s: seed}
+	out := make([]Edge, n)
+	for i := range out {
+		// Square the uniform draw to skew sources toward low ids.
+		u := r.next() % vertices
+		v := r.next() % vertices
+		src := (u * u) % vertices
+		out[i] = Edge{Src: src, Dst: v, Weight: 1}
+	}
+	return out
+}
+
+func BenchmarkInsertDefaultConfig(b *testing.B) {
+	edges := benchEdges(400_000, 8192, 7)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := MustNew(DefaultConfig())
+		g.InsertBatch(edges)
+	}
+	b.SetBytes(int64(len(edges)))
+}
+
+func BenchmarkInsertNoCAL(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.EnableCAL = false
+	edges := benchEdges(400_000, 8192, 7)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := MustNew(cfg)
+		g.InsertBatch(edges)
+	}
+	b.SetBytes(int64(len(edges)))
+}
+
+func BenchmarkFindEdgeHit(b *testing.B) {
+	edges := benchEdges(200_000, 4096, 9)
+	g := MustNew(DefaultConfig())
+	g.InsertBatch(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		g.FindEdge(e.Src, e.Dst)
+	}
+}
+
+func BenchmarkDeleteOnly(b *testing.B) {
+	edges := benchEdges(200_000, 4096, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := MustNew(DefaultConfig())
+		g.InsertBatch(edges)
+		b.StartTimer()
+		g.DeleteBatch(edges)
+	}
+}
+
+func BenchmarkDeleteAndCompact(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.DeleteMode = DeleteAndCompact
+	edges := benchEdges(200_000, 4096, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := MustNew(cfg)
+		g.InsertBatch(edges)
+		b.StartTimer()
+		g.DeleteBatch(edges)
+	}
+}

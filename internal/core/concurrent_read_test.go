@@ -1,0 +1,93 @@
+package core
+
+// The read-only iteration surface (ForEachEdge / ForEachOutEdge /
+// ForEachSource / OutDegree) is documented safe for concurrent readers —
+// the property the parallel engine's incremental phase relies on. This
+// test hammers it under the race detector.
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentReaders(t *testing.T) {
+	gt := MustNew(DefaultConfig())
+	r := &testRand{s: 17}
+	for i := 0; i < 30000; i++ {
+		gt.InsertEdge(uint64(r.intn(100)), uint64(r.intn(1000)), 1)
+	}
+	want := gt.NumEdges()
+
+	var wg sync.WaitGroup
+	const readers = 8
+	errs := make(chan string, readers*2)
+	for k := 0; k < readers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				var n uint64
+				gt.ForEachEdge(func(src, dst uint64, w float32) bool {
+					n++
+					return true
+				})
+				if n != want {
+					errs <- "ForEachEdge undercounted"
+					return
+				}
+				var deg uint64
+				gt.ForEachSource(func(src uint64, d uint32) bool {
+					if gt.OutDegree(src) != d {
+						errs <- "OutDegree disagrees with ForEachSource"
+						return false
+					}
+					var walked uint64
+					gt.ForEachOutEdge(src, func(dst uint64, w float32) bool {
+						walked++
+						return true
+					})
+					if walked != uint64(d) {
+						errs <- "ForEachOutEdge disagrees with degree"
+						return false
+					}
+					deg += walked
+					return true
+				})
+				if deg != want {
+					errs <- "degree sum mismatch"
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestConcurrentReadersOnMirrored(t *testing.T) {
+	m := MustNewMirrored(DefaultConfig())
+	r := &testRand{s: 23}
+	for i := 0; i < 10000; i++ {
+		m.InsertEdge(uint64(r.intn(50)), uint64(r.intn(50)), 1)
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < 6; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out, in uint64
+			m.ForEachEdge(func(src, dst uint64, w float32) bool { out++; return true })
+			m.ForEachInSource(func(v uint64, d uint32) bool {
+				m.ForEachInEdge(v, func(src uint64, w float32) bool { in++; return true })
+				return true
+			})
+			if out != in {
+				panic("forward/reverse edge counts diverged under concurrency")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,181 @@
+// Package core implements the GraphTinker dynamic-graph data structure
+// described in "GraphTinker: A High Performance Data Structure for Dynamic
+// Graph Processing" (Jaiyeoba and Skadron, IPDPS 2019).
+//
+// The structure stores the out-edges of every vertex in an EdgeblockArray: a
+// growable array of fixed-width edgeblocks, each split into subblocks (the
+// unit that can "branch out" into a child edgeblock when congested) and
+// workblocks (the granularity at which cells are retrieved for inspection).
+// Robin Hood Hashing places edges within a subblock; Tree-Based Hashing
+// routes congested subblocks into child edgeblocks in the overflow region.
+// Two compaction features keep analytics fast without any preprocessing
+// pass: Scatter-Gather Hashing densifies source vertex ids so the main
+// region contains only non-empty vertices, and the Coarse Adjacency List
+// maintains a contiguous copy of all edges grouped by source-id range.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Default geometry, matching the configuration the paper selects in Sec. V.A
+// ("The PAGEWIDTH, Subblock and Workblock sizes of GraphTinker were chosen to
+// be 64, 8 and 4 respectively").
+const (
+	DefaultPageWidth     = 64
+	DefaultSubblockSize  = 8
+	DefaultWorkblockSize = 4
+	DefaultCALGroupSize  = 1024
+	DefaultCALBlockSize  = 256
+)
+
+// DeleteMode selects between the two edge-deletion mechanisms of Sec. III.C.
+type DeleteMode uint8
+
+const (
+	// DeleteOnly tombstones the deleted cell and leaves the structure
+	// otherwise untouched. Fast deletes, but the structure never shrinks.
+	DeleteOnly DeleteMode = iota
+	// DeleteAndCompact backfills every hole with an edge pulled up from the
+	// deepest descendant edgeblock on the same hash path, freeing child
+	// edgeblocks as they empty. Per the paper, Robin Hood Hashing is
+	// disabled in this mode (cells are placed first-fit within a subblock)
+	// to avoid the edge-tracking complexity of compacting swapped edges.
+	DeleteAndCompact
+)
+
+func (m DeleteMode) String() string {
+	switch m {
+	case DeleteOnly:
+		return "delete-only"
+	case DeleteAndCompact:
+		return "delete-and-compact"
+	default:
+		return fmt.Sprintf("DeleteMode(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes a GraphTinker instance. The zero value is not usable;
+// call DefaultConfig and adjust.
+type Config struct {
+	// PageWidth is the number of edge cells in one edgeblock. Must be a
+	// power of two and a multiple of SubblockSize.
+	PageWidth int
+	// SubblockSize is the number of edge cells in one subblock. Must be a
+	// power of two and a multiple of WorkblockSize. A subblock is the unit
+	// that branches out into a child edgeblock when congested.
+	SubblockSize int
+	// WorkblockSize is the number of edge cells fetched per retrieval during
+	// the find/RHH process. It does not change placement, only the access
+	// granularity accounted by the statistics (the paper exposes it as the
+	// DRAM-traffic tuning knob).
+	WorkblockSize int
+
+	// EnableSGH turns Scatter-Gather Hashing on: raw source vertex ids are
+	// remapped to dense ids 0,1,2,... in arrival order, so the main region
+	// holds only non-empty vertices. Disabling it indexes the main region by
+	// raw source id directly (the ablation in Sec. V.B).
+	EnableSGH bool
+	// EnableCAL turns the Coarse Adjacency List mirror on. Disabling it
+	// removes the per-update CAL maintenance cost (the "GraphTinker without
+	// CAL" configuration of Fig. 8) and makes full-processing analytics fall
+	// back to scanning the EdgeblockArray.
+	EnableCAL bool
+	// CALGroupSize is the number of consecutive dense source ids that share
+	// one CAL group (the paper's example uses 1024).
+	CALGroupSize int
+	// CALBlockSize is the number of edge slots per CAL block.
+	CALBlockSize int
+
+	// DeleteMode selects the deletion mechanism.
+	DeleteMode DeleteMode
+
+	// InitialVertexCapacity pre-sizes the per-vertex tables. Optional.
+	InitialVertexCapacity int
+	// HashSeed perturbs the subblock/slot hash functions. Two instances with
+	// the same seed and the same operation stream are identical.
+	HashSeed uint64
+}
+
+// DefaultConfig returns the paper's evaluation configuration: PAGEWIDTH 64,
+// subblocks of 8 cells, workblocks of 4 cells, SGH and CAL enabled, and the
+// delete-only mechanism.
+func DefaultConfig() Config {
+	return Config{
+		PageWidth:     DefaultPageWidth,
+		SubblockSize:  DefaultSubblockSize,
+		WorkblockSize: DefaultWorkblockSize,
+		EnableSGH:     true,
+		EnableCAL:     true,
+		CALGroupSize:  DefaultCALGroupSize,
+		CALBlockSize:  DefaultCALBlockSize,
+		DeleteMode:    DeleteOnly,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.PageWidth <= 0 || bits.OnesCount(uint(c.PageWidth)) != 1 {
+		return fmt.Errorf("core: PageWidth %d must be a positive power of two", c.PageWidth)
+	}
+	if c.SubblockSize <= 0 || bits.OnesCount(uint(c.SubblockSize)) != 1 {
+		return fmt.Errorf("core: SubblockSize %d must be a positive power of two", c.SubblockSize)
+	}
+	if c.WorkblockSize <= 0 || bits.OnesCount(uint(c.WorkblockSize)) != 1 {
+		return fmt.Errorf("core: WorkblockSize %d must be a positive power of two", c.WorkblockSize)
+	}
+	if c.PageWidth < c.SubblockSize {
+		return fmt.Errorf("core: PageWidth %d smaller than SubblockSize %d", c.PageWidth, c.SubblockSize)
+	}
+	if c.SubblockSize < c.WorkblockSize {
+		return fmt.Errorf("core: SubblockSize %d smaller than WorkblockSize %d", c.SubblockSize, c.WorkblockSize)
+	}
+	if c.SubblockSize >= 1<<16 {
+		return fmt.Errorf("core: SubblockSize %d exceeds the probe-distance field range", c.SubblockSize)
+	}
+	if c.EnableCAL {
+		if c.CALGroupSize <= 0 {
+			return fmt.Errorf("core: CALGroupSize %d must be positive", c.CALGroupSize)
+		}
+		if c.CALBlockSize <= 0 {
+			return fmt.Errorf("core: CALBlockSize %d must be positive", c.CALBlockSize)
+		}
+	}
+	if c.InitialVertexCapacity < 0 {
+		return fmt.Errorf("core: InitialVertexCapacity %d must be non-negative", c.InitialVertexCapacity)
+	}
+	switch c.DeleteMode {
+	case DeleteOnly, DeleteAndCompact:
+	default:
+		return fmt.Errorf("core: unknown DeleteMode %d", c.DeleteMode)
+	}
+	return nil
+}
+
+// geometry caches the derived shift/mask arithmetic for a validated Config so
+// the hot paths never divide.
+type geometry struct {
+	pageWidth         int
+	subblockSize      int
+	workblockSize     int
+	subblocksPerBlock int
+	workblocksPerSub  int
+	subblockShift     int // log2(SubblockSize)
+	subblockMask      int // SubblockSize-1
+	sbIndexMask       int // subblocksPerBlock-1
+}
+
+func newGeometry(c Config) geometry {
+	g := geometry{
+		pageWidth:     c.PageWidth,
+		subblockSize:  c.SubblockSize,
+		workblockSize: c.WorkblockSize,
+	}
+	g.subblocksPerBlock = c.PageWidth / c.SubblockSize
+	g.workblocksPerSub = c.SubblockSize / c.WorkblockSize
+	g.subblockShift = bits.TrailingZeros(uint(c.SubblockSize))
+	g.subblockMask = c.SubblockSize - 1
+	g.sbIndexMask = g.subblocksPerBlock - 1
+	return g
+}

@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+func TestSubblockSizeProbeFieldBound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PageWidth = 1 << 16
+	cfg.SubblockSize = 1 << 16
+	cfg.WorkblockSize = 4
+	if err := cfg.Validate(); err == nil {
+		t.Fatalf("subblock size at the probe-field bound accepted")
+	}
+	cfg.PageWidth = 1 << 15
+	cfg.SubblockSize = 1 << 15
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("subblock size below the bound rejected: %v", err)
+	}
+}
+
+func TestInitialVertexCapacityPreSizes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialVertexCapacity = 1000
+	gt := MustNew(cfg)
+	for i := 0; i < 1000; i++ {
+		gt.InsertEdge(uint64(i), uint64(i+1), 1)
+	}
+	if gt.NumEdges() != 1000 {
+		t.Fatalf("NumEdges = %d", gt.NumEdges())
+	}
+	// Also valid for the parallel and mirrored constructors.
+	if _, err := NewParallel(cfg, 2); err != nil {
+		t.Fatalf("parallel with capacity: %v", err)
+	}
+	if _, err := NewMirrored(cfg); err != nil {
+		t.Fatalf("mirrored with capacity: %v", err)
+	}
+}
+
+func TestGeometryDerivation(t *testing.T) {
+	g := newGeometry(Config{PageWidth: 64, SubblockSize: 8, WorkblockSize: 4})
+	if g.subblocksPerBlock != 8 || g.workblocksPerSub != 2 {
+		t.Fatalf("geometry wrong: %+v", g)
+	}
+	if g.subblockMask != 7 || g.sbIndexMask != 7 || g.subblockShift != 3 {
+		t.Fatalf("masks wrong: %+v", g)
+	}
+}
+
+func TestHugeDestinationIDs(t *testing.T) {
+	// Destination ids near 2^64 must hash, store and round-trip fine.
+	gt := MustNew(DefaultConfig())
+	ids := []uint64{1<<64 - 1, 1<<63 + 12345, 1 << 40}
+	for i, dst := range ids {
+		gt.InsertEdge(7, dst, float32(i))
+	}
+	for i, dst := range ids {
+		if w, ok := gt.FindEdge(7, dst); !ok || w != float32(i) {
+			t.Fatalf("huge dst %d: (%g,%v)", dst, w, ok)
+		}
+	}
+	if id, _ := gt.MaxVertexID(); id != 1<<64-1 {
+		t.Fatalf("MaxVertexID = %d", id)
+	}
+	for _, dst := range ids {
+		if !gt.DeleteEdge(7, dst) {
+			t.Fatalf("delete of huge dst failed")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestExportCSREmpty(t *testing.T) {
+	gt := MustNew(DefaultConfig())
+	csr := gt.ExportCSR()
+	if csr.NumVertices() != 0 || csr.NumEdges() != 0 {
+		t.Fatalf("empty CSR: %d vertices %d edges", csr.NumVertices(), csr.NumEdges())
+	}
+	if d, _ := csr.OutEdges(0); d != nil {
+		t.Fatalf("OutEdges on empty CSR returned %v", d)
+	}
+	if _, ok := csr.HasEdge(0, 0); ok {
+		t.Fatalf("HasEdge on empty CSR")
+	}
+	if csr.OutDegree(5) != 0 {
+		t.Fatalf("OutDegree on empty CSR")
+	}
+}
+
+func TestExportCSRMatchesGraph(t *testing.T) {
+	gt := MustNew(DefaultConfig())
+	ref := newRefGraph()
+	r := &testRand{s: 313}
+	for i := 0; i < 20000; i++ {
+		src, dst := uint64(r.intn(300)), uint64(r.intn(300))
+		if r.intn(4) == 0 {
+			gt.DeleteEdge(src, dst)
+			ref.delete(src, dst)
+		} else {
+			w := r.float32()
+			gt.InsertEdge(src, dst, w)
+			ref.insert(src, dst, w)
+		}
+	}
+	csr := gt.ExportCSR()
+	if csr.NumEdges() != ref.numEdges() {
+		t.Fatalf("CSR has %d edges, want %d", csr.NumEdges(), ref.numEdges())
+	}
+	maxID, _ := gt.MaxVertexID()
+	if csr.NumVertices() != maxID+1 {
+		t.Fatalf("CSR has %d vertices, want %d", csr.NumVertices(), maxID+1)
+	}
+	for src, m := range ref.adj {
+		if csr.OutDegree(src) != uint64(len(m)) {
+			t.Fatalf("CSR degree(%d) = %d, want %d", src, csr.OutDegree(src), len(m))
+		}
+		dsts, ws := csr.OutEdges(src)
+		if !sort.SliceIsSorted(dsts, func(i, j int) bool { return dsts[i] < dsts[j] }) {
+			t.Fatalf("row %d not sorted: %v", src, dsts)
+		}
+		for i, dst := range dsts {
+			w, ok := m[dst]
+			if !ok || w != ws[i] {
+				t.Fatalf("CSR edge (%d,%d,%g) not in reference", src, dst, ws[i])
+			}
+		}
+		for dst, w := range m {
+			got, ok := csr.HasEdge(src, dst)
+			if !ok || got != w {
+				t.Fatalf("HasEdge(%d,%d) = (%g,%v), want %g", src, dst, got, ok, w)
+			}
+		}
+		if _, ok := csr.HasEdge(src, 1<<40); ok {
+			t.Fatalf("HasEdge found absent destination")
+		}
+	}
+}
+
+func TestExportCSRWithoutSGH(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableSGH = false
+	cfg.EnableCAL = false
+	gt := MustNew(cfg)
+	gt.InsertEdge(5, 1, 2)
+	gt.InsertEdge(0, 5, 1)
+	csr := gt.ExportCSR()
+	if csr.NumEdges() != 2 {
+		t.Fatalf("CSR edges = %d", csr.NumEdges())
+	}
+	if w, ok := csr.HasEdge(5, 1); !ok || w != 2 {
+		t.Fatalf("HasEdge(5,1) = (%g,%v)", w, ok)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import "fmt"
+
+// Edge is a weighted directed edge between two raw (application-level)
+// vertex ids. GraphTinker stores out-edges keyed by Src.
+type Edge struct {
+	Src    uint64
+	Dst    uint64
+	Weight float32
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("(%d->%d w=%g)", e.Src, e.Dst, e.Weight)
+}
+
+// cellState tracks the lifecycle of one edge cell in the EdgeblockArray.
+type cellState uint8
+
+const (
+	cellEmpty cellState = iota
+	cellOccupied
+	// cellTombstone marks a cell whose edge was removed by the delete-only
+	// mechanism. Tombstones are reusable by later insertions but are still
+	// traversed when following edges, which is what causes the delete-only
+	// throughput decay measured in Fig. 14/15.
+	cellTombstone
+)
+
+// edgeCell is the most primitive unit of the EdgeblockArray (the paper's
+// "edge-cell"). It records the destination vertex, the edge weight, the
+// Robin-Hood probe distance of the cell relative to its home slot within its
+// subblock, and a pointer to the edge's copy in the CAL EdgeblockArray.
+type edgeCell struct {
+	dst    uint64
+	calPtr calPtr
+	weight float32
+	probe  uint16
+	state  cellState
+}
+
+// cellAddr is the absolute index of a cell inside the flat cell arena:
+// blockIndex*PageWidth + offsetWithinBlock.
+type cellAddr uint64
+
+const invalidCellAddr = cellAddr(1<<64 - 1)
+
+// calPtr addresses one slot of the CAL EdgeblockArray: block index in the
+// high 32 bits, slot within the block in the low 32 bits.
+type calPtr uint64
+
+const invalidCALPtr = calPtr(1<<64 - 1)
+
+func makeCALPtr(block int32, slot int32) calPtr {
+	return calPtr(uint64(uint32(block))<<32 | uint64(uint32(slot)))
+}
+
+func (p calPtr) block() int32 { return int32(uint32(p >> 32)) }
+func (p calPtr) slot() int32  { return int32(uint32(p)) }
+
+func (p calPtr) valid() bool { return p != invalidCALPtr }

@@ -1,0 +1,38 @@
+package core
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit mixing
+// function. It drives every hash decision in the data structure so that
+// placement is deterministic for a given (Config.HashSeed, operation stream).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// subblockFor implements the Tree-Based Hashing function: it selects the
+// subblock index (within one edgeblock) that the edge with destination dst
+// hashes to at the given descent generation. Re-hashing with the generation
+// folded in is what spreads a congested subblock's overflow across all the
+// subblocks of its child edgeblock.
+func (gt *GraphTinker) subblockFor(dst uint64, gen int) int {
+	h := mix64(dst ^ gt.cfg.HashSeed ^ (uint64(gen)+1)*0x9e3779b97f4a7c15)
+	return int(h) & gt.geo.sbIndexMask
+}
+
+// homeSlotFor selects the Robin Hood home slot of an edge within its
+// subblock (the "initial bucket" of Fig. 1). It is generation-independent:
+// wherever an edge lands in the tree, its within-subblock home is a pure
+// function of its destination id.
+func (gt *GraphTinker) homeSlotFor(dst uint64) int {
+	h := mix64(dst*0x2545f4914f6cdd1d + gt.cfg.HashSeed)
+	return int(h>>32) & gt.geo.subblockMask
+}
+
+// ShardFor partitions raw source ids across p parallel GraphTinker
+// instances ("intervals", Sec. III.D). Exported through the Parallel type.
+func shardFor(src uint64, seed uint64, p int) int {
+	return int(mix64(src^seed) % uint64(p))
+}

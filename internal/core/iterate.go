@@ -1,0 +1,120 @@
+package core
+
+// ForEachOutEdge visits every live out-edge of src (in unspecified order) by
+// walking the vertex's top-parent edgeblock and every descendant edgeblock
+// in the overflow region. This is the random-access retrieval path the
+// incremental-processing mode uses. The callback returns false to stop.
+func (gt *GraphTinker) ForEachOutEdge(src uint64, fn func(dst uint64, w float32) bool) {
+	d, ok := gt.denseLookup(src)
+	if !ok || uint32(len(gt.topBlock)) <= d {
+		return
+	}
+	blk := gt.topBlock[d]
+	if blk == noBlock {
+		return
+	}
+	gt.walkSubtree(blk, fn)
+}
+
+// walkSubtree visits occupied cells of blk and all its descendants,
+// skipping subblocks with no occupied cells (their child chains are still
+// followed — tombstoned paths keep descendants). It returns false when the
+// callback stopped the walk.
+//
+// walkSubtree deliberately mutates nothing (not even statistics), so the
+// read-only iteration surface (ForEachOutEdge / ForEachEdge / ForEachSource)
+// is safe for concurrent readers — the property the parallel engine's
+// incremental phase relies on.
+func (gt *GraphTinker) walkSubtree(blk int32, fn func(dst uint64, w float32) bool) bool {
+	if gt.eba.occupancy[blk] > 0 {
+		subOcc := gt.eba.blockSubOcc(blk)
+		for sb := range subOcc {
+			if subOcc[sb] == 0 {
+				continue
+			}
+			cells := gt.eba.subblockCells(blk, sb)
+			remaining := subOcc[sb]
+			for i := range cells {
+				c := &cells[i]
+				if c.state == cellOccupied {
+					if !fn(c.dst, c.weight) {
+						return false
+					}
+					remaining--
+					if remaining == 0 {
+						break
+					}
+				}
+			}
+		}
+	}
+	for _, child := range gt.eba.blockChildren(blk) {
+		if child != noBlock {
+			if !gt.walkSubtree(child, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ForEachEdge visits every live edge in the graph. With the CAL feature
+// enabled it streams the Coarse Adjacency List — the contiguous path
+// full-processing analytics rely on. Without CAL it falls back to scanning
+// the EdgeblockArray vertex by vertex (the configuration the Fig. 8 / Sec.
+// V.B ablations measure). The callback returns false to stop.
+func (gt *GraphTinker) ForEachEdge(fn func(src, dst uint64, w float32) bool) {
+	if gt.cal != nil {
+		gt.cal.forEach(fn)
+		return
+	}
+	for d := 0; d < len(gt.topBlock); d++ {
+		blk := gt.topBlock[d]
+		if blk == noBlock {
+			continue
+		}
+		src := gt.rawOf(uint32(d))
+		if !gt.walkSubtree(blk, func(dst uint64, w float32) bool {
+			return fn(src, dst, w)
+		}) {
+			return
+		}
+	}
+}
+
+// Edges returns a snapshot of all live edges.
+func (gt *GraphTinker) Edges() []Edge {
+	out := make([]Edge, 0, gt.numEdges)
+	gt.ForEachEdge(func(src, dst uint64, w float32) bool {
+		out = append(out, Edge{Src: src, Dst: dst, Weight: w})
+		return true
+	})
+	return out
+}
+
+// OutEdges returns a snapshot of the out-edges of src.
+func (gt *GraphTinker) OutEdges(src uint64) []Edge {
+	var out []Edge
+	gt.ForEachOutEdge(src, func(dst uint64, w float32) bool {
+		out = append(out, Edge{Src: src, Dst: dst, Weight: w})
+		return true
+	})
+	return out
+}
+
+// ForEachSource visits every source vertex that currently has at least one
+// live out-edge, in dense-id order.
+func (gt *GraphTinker) ForEachSource(fn func(src uint64, degree uint32) bool) {
+	for d := 0; d < len(gt.topBlock); d++ {
+		if gt.topBlock[d] == noBlock {
+			continue
+		}
+		deg := gt.props.degree[d]
+		if deg == 0 {
+			continue
+		}
+		if !fn(gt.rawOf(uint32(d)), deg) {
+			return
+		}
+	}
+}

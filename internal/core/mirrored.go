@@ -1,0 +1,111 @@
+package core
+
+// Mirrored maintains two GraphTinker instances — one keyed by source
+// (out-edges) and one keyed by destination (in-edges) — so both edge
+// directions can be followed efficiently. The paper's future-work section
+// proposes exploring the vertex-centric computation model, whose gather
+// phase pulls over *in*-edges; Mirrored is the substrate that makes that
+// model runnable on GraphTinker.
+type Mirrored struct {
+	fwd *GraphTinker
+	rev *GraphTinker
+}
+
+// NewMirrored builds the pair with a shared configuration.
+func NewMirrored(cfg Config) (*Mirrored, error) {
+	fwd, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Mirrored{fwd: fwd, rev: rev}, nil
+}
+
+// MustNewMirrored is NewMirrored for known-valid configurations.
+func MustNewMirrored(cfg Config) *Mirrored {
+	m, err := NewMirrored(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Forward exposes the out-edge instance (read-only use).
+func (m *Mirrored) Forward() *GraphTinker { return m.fwd }
+
+// Reverse exposes the in-edge instance (read-only use).
+func (m *Mirrored) Reverse() *GraphTinker { return m.rev }
+
+// InsertEdge inserts (src, dst, w) into both directions.
+func (m *Mirrored) InsertEdge(src, dst uint64, w float32) bool {
+	isNew := m.fwd.InsertEdge(src, dst, w)
+	m.rev.InsertEdge(dst, src, w)
+	return isNew
+}
+
+// InsertBatch inserts a batch, returning how many edges were new.
+func (m *Mirrored) InsertBatch(edges []Edge) int {
+	inserted := 0
+	for _, e := range edges {
+		if m.InsertEdge(e.Src, e.Dst, e.Weight) {
+			inserted++
+		}
+	}
+	return inserted
+}
+
+// DeleteEdge removes (src, dst) from both directions.
+func (m *Mirrored) DeleteEdge(src, dst uint64) bool {
+	ok := m.fwd.DeleteEdge(src, dst)
+	m.rev.DeleteEdge(dst, src)
+	return ok
+}
+
+// DeleteBatch removes a batch, returning how many edges were present.
+func (m *Mirrored) DeleteBatch(edges []Edge) int {
+	removed := 0
+	for _, e := range edges {
+		if m.DeleteEdge(e.Src, e.Dst) {
+			removed++
+		}
+	}
+	return removed
+}
+
+// NumEdges returns the live edge count.
+func (m *Mirrored) NumEdges() uint64 { return m.fwd.NumEdges() }
+
+// MaxVertexID returns the highest raw id observed.
+func (m *Mirrored) MaxVertexID() (uint64, bool) { return m.fwd.MaxVertexID() }
+
+// OutDegree / InDegree report the two directed degrees.
+func (m *Mirrored) OutDegree(v uint64) uint32 { return m.fwd.OutDegree(v) }
+func (m *Mirrored) InDegree(v uint64) uint32  { return m.rev.OutDegree(v) }
+
+// FindEdge reports the weight of (src, dst) if stored.
+func (m *Mirrored) FindEdge(src, dst uint64) (float32, bool) {
+	return m.fwd.FindEdge(src, dst)
+}
+
+// ForEachOutEdge / ForEachInEdge walk one vertex's edges in either
+// direction.
+func (m *Mirrored) ForEachOutEdge(v uint64, fn func(dst uint64, w float32) bool) {
+	m.fwd.ForEachOutEdge(v, fn)
+}
+
+func (m *Mirrored) ForEachInEdge(v uint64, fn func(src uint64, w float32) bool) {
+	m.rev.ForEachOutEdge(v, fn)
+}
+
+// ForEachEdge streams all edges (from the forward CAL).
+func (m *Mirrored) ForEachEdge(fn func(src, dst uint64, w float32) bool) {
+	m.fwd.ForEachEdge(fn)
+}
+
+// ForEachInSource visits every vertex with at least one in-edge.
+func (m *Mirrored) ForEachInSource(fn func(v uint64, inDegree uint32) bool) {
+	m.rev.ForEachSource(fn)
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Parallel shards a dynamic graph across several independent GraphTinker
+// instances, partitioning the edge stream by where each edge's source vertex
+// id hashes to (Sec. III.D, Fig. 6). Batch updates run one goroutine per
+// instance; because an edge's shard is a pure function of its source id, no
+// two goroutines ever touch the same instance.
+type Parallel struct {
+	cfg    Config
+	shards []*GraphTinker
+	seed   uint64
+}
+
+// NewParallel builds p independent instances sharing one configuration.
+func NewParallel(cfg Config, p int) (*Parallel, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("core: shard count %d must be positive", p)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	par := &Parallel{cfg: cfg, shards: make([]*GraphTinker, p), seed: cfg.HashSeed ^ 0xa24baed4963ee407}
+	for i := range par.shards {
+		shardCfg := cfg
+		par.shards[i] = MustNew(shardCfg)
+	}
+	return par, nil
+}
+
+// Shards returns the number of parallel instances.
+func (p *Parallel) Shards() int { return len(p.shards) }
+
+// Shard exposes instance i (read-only use; mutating it directly bypasses
+// the partitioning invariant).
+func (p *Parallel) Shard(i int) *GraphTinker { return p.shards[i] }
+
+// shardOf routes a source vertex to its instance.
+func (p *Parallel) shardOf(src uint64) int { return shardFor(src, p.seed, len(p.shards)) }
+
+// partition splits a batch into per-shard sub-batches.
+func (p *Parallel) partition(edges []Edge) [][]Edge {
+	parts := make([][]Edge, len(p.shards))
+	counts := make([]int, len(p.shards))
+	for i := range edges {
+		counts[p.shardOf(edges[i].Src)]++
+	}
+	for i := range parts {
+		parts[i] = make([]Edge, 0, counts[i])
+	}
+	for i := range edges {
+		s := p.shardOf(edges[i].Src)
+		parts[s] = append(parts[s], edges[i])
+	}
+	return parts
+}
+
+// InsertBatch loads a batch across all instances concurrently and returns
+// how many edges were new.
+func (p *Parallel) InsertBatch(edges []Edge) int {
+	parts := p.partition(edges)
+	results := make([]int, len(p.shards))
+	var wg sync.WaitGroup
+	for i := range p.shards {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = p.shards[i].InsertBatch(parts[i])
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += r
+	}
+	return total
+}
+
+// DeleteBatch removes a batch across all instances concurrently and returns
+// how many edges were present.
+func (p *Parallel) DeleteBatch(edges []Edge) int {
+	parts := p.partition(edges)
+	results := make([]int, len(p.shards))
+	var wg sync.WaitGroup
+	for i := range p.shards {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = p.shards[i].DeleteBatch(parts[i])
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += r
+	}
+	return total
+}
+
+// InsertEdge routes a single insertion to its shard.
+func (p *Parallel) InsertEdge(src, dst uint64, w float32) bool {
+	return p.shards[p.shardOf(src)].InsertEdge(src, dst, w)
+}
+
+// DeleteEdge routes a single deletion to its shard.
+func (p *Parallel) DeleteEdge(src, dst uint64) bool {
+	return p.shards[p.shardOf(src)].DeleteEdge(src, dst)
+}
+
+// FindEdge routes a lookup to its shard.
+func (p *Parallel) FindEdge(src, dst uint64) (float32, bool) {
+	return p.shards[p.shardOf(src)].FindEdge(src, dst)
+}
+
+// OutDegree routes a degree query to its shard.
+func (p *Parallel) OutDegree(src uint64) uint32 {
+	return p.shards[p.shardOf(src)].OutDegree(src)
+}
+
+// NumEdges sums live edges across shards.
+func (p *Parallel) NumEdges() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.NumEdges()
+	}
+	return n
+}
+
+// MaxVertexID returns the highest raw vertex id seen by any shard.
+func (p *Parallel) MaxVertexID() (uint64, bool) {
+	var maxID uint64
+	saw := false
+	for _, s := range p.shards {
+		if id, ok := s.MaxVertexID(); ok {
+			if !saw || id > maxID {
+				maxID = id
+			}
+			saw = true
+		}
+	}
+	return maxID, saw
+}
+
+// ForEachOutEdge routes the per-vertex walk to the owning shard.
+func (p *Parallel) ForEachOutEdge(src uint64, fn func(dst uint64, w float32) bool) {
+	p.shards[p.shardOf(src)].ForEachOutEdge(src, fn)
+}
+
+// ForEachEdge streams all edges shard by shard.
+func (p *Parallel) ForEachEdge(fn func(src, dst uint64, w float32) bool) {
+	stopped := false
+	for _, s := range p.shards {
+		if stopped {
+			return
+		}
+		s.ForEachEdge(func(src, dst uint64, w float32) bool {
+			if !fn(src, dst, w) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// NumShards reports the shard count (the engine's parallel-processing
+// surface).
+func (p *Parallel) NumShards() int { return len(p.shards) }
+
+// ForEachShardEdge streams the live edges held by one shard. Safe to call
+// concurrently for distinct (or even the same) shards: the iteration
+// surface is read-only.
+func (p *Parallel) ForEachShardEdge(shard int, fn func(src, dst uint64, w float32) bool) {
+	p.shards[shard].ForEachEdge(fn)
+}
+
+// Stats merges the counters of every shard.
+func (p *Parallel) Stats() Stats {
+	var total Stats
+	for _, s := range p.shards {
+		total.Add(s.Stats())
+	}
+	return total
+}
+
+// ResetStats clears the counters of every shard.
+func (p *Parallel) ResetStats() {
+	for _, s := range p.shards {
+		s.ResetStats()
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewParallelValidation(t *testing.T) {
+	if _, err := NewParallel(DefaultConfig(), 0); err == nil {
+		t.Fatalf("shard count 0 accepted")
+	}
+	if _, err := NewParallel(DefaultConfig(), -3); err == nil {
+		t.Fatalf("negative shard count accepted")
+	}
+	if _, err := NewParallel(Config{}, 2); err == nil {
+		t.Fatalf("invalid config accepted")
+	}
+	p, err := NewParallel(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatalf("NewParallel: %v", err)
+	}
+	if p.Shards() != 4 {
+		t.Fatalf("Shards = %d", p.Shards())
+	}
+}
+
+func TestParallelMatchesSingleInstance(t *testing.T) {
+	// The sharded structure must hold exactly the same edge set as one
+	// instance fed the same stream.
+	single := MustNew(DefaultConfig())
+	par, _ := NewParallel(DefaultConfig(), 4)
+	r := &testRand{s: 2024}
+	var batch []Edge
+	for i := 0; i < 20000; i++ {
+		batch = append(batch, Edge{uint64(r.intn(500)), uint64(r.intn(500)), r.float32()})
+	}
+	singleNew := single.InsertBatch(batch)
+	parNew := par.InsertBatch(batch)
+	if singleNew != parNew {
+		t.Fatalf("new-edge counts differ: single %d, parallel %d", singleNew, parNew)
+	}
+	if single.NumEdges() != par.NumEdges() {
+		t.Fatalf("edge counts differ: single %d, parallel %d", single.NumEdges(), par.NumEdges())
+	}
+	for _, e := range batch {
+		sw, sok := single.FindEdge(e.Src, e.Dst)
+		pw, pok := par.FindEdge(e.Src, e.Dst)
+		if sok != pok || sw != pw {
+			t.Fatalf("FindEdge(%d,%d): single (%g,%v) vs parallel (%g,%v)", e.Src, e.Dst, sw, sok, pw, pok)
+		}
+		if single.OutDegree(e.Src) != par.OutDegree(e.Src) {
+			t.Fatalf("OutDegree(%d) differs", e.Src)
+		}
+	}
+	// Full iteration yields identical edge sets.
+	se, pe := single.Edges(), parEdges(par)
+	sortEdges(se)
+	sortEdges(pe)
+	if len(se) != len(pe) {
+		t.Fatalf("edge sets differ in size: %d vs %d", len(se), len(pe))
+	}
+	for i := range se {
+		if se[i] != pe[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, se[i], pe[i])
+		}
+	}
+}
+
+func parEdges(p *Parallel) []Edge {
+	var out []Edge
+	p.ForEachEdge(func(src, dst uint64, w float32) bool {
+		out = append(out, Edge{src, dst, w})
+		return true
+	})
+	return out
+}
+
+func TestParallelDeleteBatch(t *testing.T) {
+	par, _ := NewParallel(DefaultConfig(), 3)
+	var batch []Edge
+	for i := 0; i < 1000; i++ {
+		batch = append(batch, Edge{uint64(i % 50), uint64(i), 1})
+	}
+	par.InsertBatch(batch)
+	removed := par.DeleteBatch(batch[:600])
+	if removed != 600 {
+		t.Fatalf("DeleteBatch removed %d, want 600", removed)
+	}
+	if par.NumEdges() != 400 {
+		t.Fatalf("NumEdges = %d, want 400", par.NumEdges())
+	}
+	if par.DeleteBatch(batch[:600]) != 0 {
+		t.Fatalf("double delete removed edges")
+	}
+}
+
+func TestParallelSingleEdgeOps(t *testing.T) {
+	par, _ := NewParallel(DefaultConfig(), 5)
+	if !par.InsertEdge(10, 20, 2.5) {
+		t.Fatalf("InsertEdge new = false")
+	}
+	if w, ok := par.FindEdge(10, 20); !ok || w != 2.5 {
+		t.Fatalf("FindEdge = (%g,%v)", w, ok)
+	}
+	if par.OutDegree(10) != 1 {
+		t.Fatalf("OutDegree = %d", par.OutDegree(10))
+	}
+	var outs []uint64
+	par.ForEachOutEdge(10, func(dst uint64, w float32) bool {
+		outs = append(outs, dst)
+		return true
+	})
+	if len(outs) != 1 || outs[0] != 20 {
+		t.Fatalf("ForEachOutEdge = %v", outs)
+	}
+	if !par.DeleteEdge(10, 20) {
+		t.Fatalf("DeleteEdge failed")
+	}
+	if par.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d", par.NumEdges())
+	}
+}
+
+func TestParallelMaxVertexID(t *testing.T) {
+	par, _ := NewParallel(DefaultConfig(), 4)
+	if _, ok := par.MaxVertexID(); ok {
+		t.Fatalf("empty parallel instance reported vertices")
+	}
+	par.InsertEdge(3, 77, 1)
+	par.InsertEdge(1500, 2, 1)
+	if id, ok := par.MaxVertexID(); !ok || id != 1500 {
+		t.Fatalf("MaxVertexID = (%d,%v)", id, ok)
+	}
+}
+
+func TestParallelStatsMergeAndReset(t *testing.T) {
+	par, _ := NewParallel(DefaultConfig(), 4)
+	var batch []Edge
+	for i := 0; i < 5000; i++ {
+		batch = append(batch, Edge{uint64(i % 200), uint64(i), 1})
+	}
+	par.InsertBatch(batch)
+	st := par.Stats()
+	if st.Inserts != 5000 {
+		t.Fatalf("merged Inserts = %d, want 5000", st.Inserts)
+	}
+	par.ResetStats()
+	if par.Stats().Inserts != 0 {
+		t.Fatalf("ResetStats left inserts")
+	}
+}
+
+func TestParallelConcurrentBatchesRace(t *testing.T) {
+	// Concurrent InsertBatch calls on disjoint shards are the paper's
+	// parallel model; this exercises it under the race detector. Batches
+	// are partitioned internally, so concurrent calls to the Parallel
+	// wrapper itself must be externally serialized — here we emulate the
+	// intended use: one loader goroutine per batch interval, sequential
+	// batches, internal fan-out.
+	par, _ := NewParallel(DefaultConfig(), 8)
+	var wg sync.WaitGroup
+	for b := 0; b < 4; b++ {
+		var batch []Edge
+		for i := 0; i < 4000; i++ {
+			batch = append(batch, Edge{uint64((b*4000 + i) % 777), uint64(i), 1})
+		}
+		par.InsertBatch(batch) // internal goroutine fan-out under -race
+	}
+	wg.Wait()
+	if par.NumEdges() == 0 {
+		t.Fatalf("no edges loaded")
+	}
+}
+
+func TestParallelEarlyStopForEachEdge(t *testing.T) {
+	par, _ := NewParallel(DefaultConfig(), 4)
+	for i := 0; i < 400; i++ {
+		par.InsertEdge(uint64(i), uint64(i+1), 1)
+	}
+	n := 0
+	par.ForEachEdge(func(src, dst uint64, w float32) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestShardForIsStable(t *testing.T) {
+	for src := uint64(0); src < 1000; src++ {
+		a := shardFor(src, 42, 8)
+		b := shardFor(src, 42, 8)
+		if a != b {
+			t.Fatalf("shardFor unstable for %d", src)
+		}
+		if a < 0 || a >= 8 {
+			t.Fatalf("shardFor out of range: %d", a)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+// refGraph is a trivially-correct reference implementation used to
+// cross-check every GraphTinker (and STINGER) behaviour: a map of adjacency
+// maps. Tests mirror each mutation into the reference and compare the full
+// observable state.
+
+import (
+	"sort"
+	"testing"
+)
+
+type refGraph struct {
+	adj map[uint64]map[uint64]float32
+}
+
+func newRefGraph() *refGraph {
+	return &refGraph{adj: make(map[uint64]map[uint64]float32)}
+}
+
+func (r *refGraph) insert(src, dst uint64, w float32) bool {
+	m, ok := r.adj[src]
+	if !ok {
+		m = make(map[uint64]float32)
+		r.adj[src] = m
+	}
+	_, existed := m[dst]
+	m[dst] = w
+	return !existed
+}
+
+func (r *refGraph) delete(src, dst uint64) bool {
+	m, ok := r.adj[src]
+	if !ok {
+		return false
+	}
+	if _, ok := m[dst]; !ok {
+		return false
+	}
+	delete(m, dst)
+	return true
+}
+
+func (r *refGraph) find(src, dst uint64) (float32, bool) {
+	m, ok := r.adj[src]
+	if !ok {
+		return 0, false
+	}
+	w, ok := m[dst]
+	return w, ok
+}
+
+func (r *refGraph) numEdges() uint64 {
+	var n uint64
+	for _, m := range r.adj {
+		n += uint64(len(m))
+	}
+	return n
+}
+
+func (r *refGraph) degree(src uint64) uint32 {
+	return uint32(len(r.adj[src]))
+}
+
+func (r *refGraph) edges() []Edge {
+	var out []Edge
+	for src, m := range r.adj {
+		for dst, w := range m {
+			out = append(out, Edge{Src: src, Dst: dst, Weight: w})
+		}
+	}
+	return out
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+}
+
+// edgeSetStore is the common read surface the equivalence checker needs.
+type edgeSetStore interface {
+	NumEdges() uint64
+	FindEdge(src, dst uint64) (float32, bool)
+	OutDegree(src uint64) uint32
+	Edges() []Edge
+	OutEdges(src uint64) []Edge
+}
+
+// checkEquivalence compares a store's full observable state against the
+// reference graph.
+func checkEquivalence(t *testing.T, store edgeSetStore, ref *refGraph) {
+	t.Helper()
+	if got, want := store.NumEdges(), ref.numEdges(); got != want {
+		t.Fatalf("NumEdges = %d, reference has %d", got, want)
+	}
+	want := ref.edges()
+	got := store.Edges()
+	sortEdges(want)
+	sortEdges(got)
+	if len(got) != len(want) {
+		t.Fatalf("Edges() returned %d edges, reference has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	for src, m := range ref.adj {
+		if got, want := store.OutDegree(src), uint32(len(m)); got != want {
+			t.Fatalf("OutDegree(%d) = %d, want %d", src, got, want)
+		}
+		outs := store.OutEdges(src)
+		if len(outs) != len(m) {
+			t.Fatalf("OutEdges(%d) returned %d edges, want %d", src, len(outs), len(m))
+		}
+		for _, e := range outs {
+			w, ok := m[e.Dst]
+			if !ok {
+				t.Fatalf("OutEdges(%d) returned absent edge to %d", src, e.Dst)
+			}
+			if w != e.Weight {
+				t.Fatalf("OutEdges(%d): edge to %d has weight %g, want %g", src, e.Dst, e.Weight, w)
+			}
+		}
+		for dst, w := range m {
+			gw, ok := store.FindEdge(src, dst)
+			if !ok {
+				t.Fatalf("FindEdge(%d,%d) missing", src, dst)
+			}
+			if gw != w {
+				t.Fatalf("FindEdge(%d,%d) = %g, want %g", src, dst, gw, w)
+			}
+		}
+	}
+}
+
+// xorshift-style deterministic PRNG for test op streams.
+type testRand struct{ s uint64 }
+
+func (r *testRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *testRand) float32() float32 { return float32(r.next()%1000) / 100 }

@@ -1,0 +1,143 @@
+package core
+
+// Snapshot serialization. A snapshot records the instance's configuration
+// and live edge set in a compact binary format; loading rebuilds the
+// structure by replaying insertions, which preserves every internal
+// invariant by construction (the alternative — dumping raw arenas — would
+// couple the format to memory-layout details for no retrieval benefit).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// snapshotMagic identifies the format; bump snapshotVersion on change.
+const (
+	snapshotMagic   = uint32(0x47544b31) // "GTK1"
+	snapshotVersion = uint16(1)
+)
+
+// WriteSnapshot serializes the configuration and every live edge to w.
+func (gt *GraphTinker) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+
+	var head [8]byte
+	le.PutUint32(head[0:], snapshotMagic)
+	le.PutUint16(head[4:], snapshotVersion)
+	if _, err := bw.Write(head[:6]); err != nil {
+		return fmt.Errorf("core: snapshot header: %w", err)
+	}
+
+	cfg := gt.cfg
+	cfgFields := []uint64{
+		uint64(cfg.PageWidth), uint64(cfg.SubblockSize), uint64(cfg.WorkblockSize),
+		boolU64(cfg.EnableSGH), boolU64(cfg.EnableCAL),
+		uint64(cfg.CALGroupSize), uint64(cfg.CALBlockSize),
+		uint64(cfg.DeleteMode), cfg.HashSeed,
+	}
+	var buf [8]byte
+	for _, f := range cfgFields {
+		le.PutUint64(buf[:], f)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("core: snapshot config: %w", err)
+		}
+	}
+
+	le.PutUint64(buf[:], gt.numEdges)
+	if _, err := bw.Write(buf[:]); err != nil {
+		return fmt.Errorf("core: snapshot edge count: %w", err)
+	}
+
+	var rec [20]byte
+	var writeErr error
+	gt.ForEachEdge(func(src, dst uint64, weight float32) bool {
+		le.PutUint64(rec[0:], src)
+		le.PutUint64(rec[8:], dst)
+		le.PutUint32(rec[16:], floatBits(weight))
+		if _, err := bw.Write(rec[:]); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return fmt.Errorf("core: snapshot edges: %w", writeErr)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reconstructs an instance from a snapshot produced by
+// WriteSnapshot. The stored configuration is used unless override is
+// non-nil (letting callers re-shard or re-tune geometry on load).
+func ReadSnapshot(r io.Reader, override *Config) (*GraphTinker, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+
+	var head [6]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("core: snapshot header: %w", err)
+	}
+	if le.Uint32(head[0:]) != snapshotMagic {
+		return nil, fmt.Errorf("core: not a GraphTinker snapshot")
+	}
+	if v := le.Uint16(head[4:]); v != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", v)
+	}
+
+	var fields [9]uint64
+	var buf [8]byte
+	for i := range fields {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("core: snapshot config: %w", err)
+		}
+		fields[i] = le.Uint64(buf[:])
+	}
+	cfg := Config{
+		PageWidth:     int(fields[0]),
+		SubblockSize:  int(fields[1]),
+		WorkblockSize: int(fields[2]),
+		EnableSGH:     fields[3] != 0,
+		EnableCAL:     fields[4] != 0,
+		CALGroupSize:  int(fields[5]),
+		CALBlockSize:  int(fields[6]),
+		DeleteMode:    DeleteMode(fields[7]),
+		HashSeed:      fields[8],
+	}
+	if override != nil {
+		cfg = *override
+	}
+	gt, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
+	}
+
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("core: snapshot edge count: %w", err)
+	}
+	count := le.Uint64(buf[:])
+
+	var rec [20]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("core: snapshot edge %d: %w", i, err)
+		}
+		gt.InsertEdge(le.Uint64(rec[0:]), le.Uint64(rec[8:]), floatFrom(le.Uint32(rec[16:])))
+	}
+	gt.ResetStats() // loading is not part of the measured workload
+	return gt, nil
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func floatFrom(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	gt := MustNew(DefaultConfig())
+	ref := newRefGraph()
+	r := &testRand{s: 77}
+	for i := 0; i < 10000; i++ {
+		src, dst := uint64(r.intn(200)), uint64(r.intn(2000))
+		w := r.float32()
+		if r.intn(4) == 0 {
+			gt.DeleteEdge(src, dst)
+			ref.delete(src, dst)
+		} else {
+			gt.InsertEdge(src, dst, w)
+			ref.insert(src, dst, w)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := gt.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	restored, err := ReadSnapshot(&buf, nil)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if restored.Stats() != (Stats{}) {
+		t.Fatalf("loading should not count as workload stats")
+	}
+	checkEquivalence(t, restored, ref)
+	if restored.Config() != gt.Config() {
+		t.Fatalf("config not preserved: %+v vs %+v", restored.Config(), gt.Config())
+	}
+}
+
+func TestSnapshotEmptyGraph(t *testing.T) {
+	gt := MustNew(DefaultConfig())
+	var buf bytes.Buffer
+	if err := gt.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumEdges() != 0 {
+		t.Fatalf("empty snapshot restored %d edges", restored.NumEdges())
+	}
+}
+
+func TestSnapshotConfigOverride(t *testing.T) {
+	gt := MustNew(DefaultConfig())
+	gt.InsertEdge(1, 2, 3)
+	var buf bytes.Buffer
+	if err := gt.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	override := DefaultConfig()
+	override.PageWidth = 16
+	override.EnableCAL = false
+	restored, err := ReadSnapshot(&buf, &override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Config().PageWidth != 16 || restored.Config().EnableCAL {
+		t.Fatalf("override not applied: %+v", restored.Config())
+	}
+	if w, ok := restored.FindEdge(1, 2); !ok || w != 3 {
+		t.Fatalf("edge lost under override: (%g,%v)", w, ok)
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTASNAPSHOTFILE____________________"),
+		"truncated": nil, // filled below
+	}
+	gt := MustNew(DefaultConfig())
+	gt.InsertEdge(1, 2, 3)
+	var buf bytes.Buffer
+	if err := gt.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cases["truncated"] = full[:len(full)-5]
+
+	for name, data := range cases {
+		if _, err := ReadSnapshot(bytes.NewReader(data), nil); err == nil {
+			t.Fatalf("case %q: garbage accepted", name)
+		}
+	}
+
+	// Corrupted version field.
+	bad := append([]byte(nil), full...)
+	bad[4] = 0xff
+	if _, err := ReadSnapshot(bytes.NewReader(bad), nil); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version accepted: %v", err)
+	}
+}
+
+func TestSnapshotInvalidOverrideRejected(t *testing.T) {
+	gt := MustNew(DefaultConfig())
+	var buf bytes.Buffer
+	if err := gt.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{}
+	if _, err := ReadSnapshot(&buf, &bad); err == nil {
+		t.Fatalf("invalid override accepted")
+	}
+}
+
+func TestSnapshotPreservesWeightsExactly(t *testing.T) {
+	gt := MustNew(DefaultConfig())
+	weights := []float32{0, -1.5, 3.14159, 1e-30, 1e30}
+	for i, w := range weights {
+		gt.InsertEdge(uint64(i), 100, w)
+	}
+	var buf bytes.Buffer
+	if err := gt.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range weights {
+		if got, ok := restored.FindEdge(uint64(i), 100); !ok || got != w {
+			t.Fatalf("weight %g restored as (%g,%v)", w, got, ok)
+		}
+	}
+}

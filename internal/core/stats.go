@@ -1,0 +1,92 @@
+package core
+
+// Stats aggregates the operation counters GraphTinker maintains. They feed
+// the probe-distance / DRAM-traffic analyses in the evaluation (workblock
+// retrievals model DRAM accesses at workblock granularity; cell inspections
+// model the probe distance when following edges).
+type Stats struct {
+	// Operation counts.
+	Inserts uint64 // new edges placed
+	Updates uint64 // duplicate inserts that patched an existing edge
+	Deletes uint64 // edges removed
+	Finds   uint64 // FindEdge calls
+
+	// Probe behaviour (update paths: FIND / INSERT / DELETE; the read-only
+	// iteration surface mutates nothing so concurrent readers stay safe).
+	CellsInspected      uint64 // edge cells touched while following edges
+	WorkblocksRetrieved uint64 // workblock fetches (the DRAM-traffic proxy)
+	RHHSwaps            uint64 // Robin Hood displacements
+	Branches            uint64 // subblock branch-outs (child edgeblocks created)
+	MaxGeneration       int    // deepest descent observed
+
+	// Structure lifecycle.
+	BlocksAllocated uint64
+	BlocksFreed     uint64
+	CompactionMoves uint64 // cells pulled up by delete-and-compact
+
+	// CAL mirror.
+	CALAppends uint64
+	CALPatches uint64 // weight patches + owner re-points + invalidations
+}
+
+// Add accumulates other into s (used by the sharded Parallel wrapper).
+func (s *Stats) Add(other Stats) {
+	s.Inserts += other.Inserts
+	s.Updates += other.Updates
+	s.Deletes += other.Deletes
+	s.Finds += other.Finds
+	s.CellsInspected += other.CellsInspected
+	s.WorkblocksRetrieved += other.WorkblocksRetrieved
+	s.RHHSwaps += other.RHHSwaps
+	s.Branches += other.Branches
+	if other.MaxGeneration > s.MaxGeneration {
+		s.MaxGeneration = other.MaxGeneration
+	}
+	s.BlocksAllocated += other.BlocksAllocated
+	s.BlocksFreed += other.BlocksFreed
+	s.CompactionMoves += other.CompactionMoves
+	s.CALAppends += other.CALAppends
+	s.CALPatches += other.CALPatches
+}
+
+// MemoryFootprint is a coarse accounting of resident bytes per component.
+type MemoryFootprint struct {
+	EdgeblockArrayBytes uint64
+	CALBytes            uint64
+	SGHBytes            uint64
+	VertexPropsBytes    uint64
+}
+
+// Total sums all components.
+func (m MemoryFootprint) Total() uint64 {
+	return m.EdgeblockArrayBytes + m.CALBytes + m.SGHBytes + m.VertexPropsBytes
+}
+
+// Occupancy describes how compactly the EdgeblockArray stores the live edge
+// set: LiveEdges over CellsAllocated is the fill fraction the SGH/CAL
+// compaction experiments (Sec. V.B) measure.
+type Occupancy struct {
+	LiveEdges      uint64
+	CellsAllocated uint64
+	LiveBlocks     int
+	FreeBlocks     int
+	CALLiveEdges   uint64
+	CALSlots       uint64
+	CALLiveBlocks  int
+}
+
+// Fill is the fraction of allocated edge cells holding a live edge.
+func (o Occupancy) Fill() float64 {
+	if o.CellsAllocated == 0 {
+		return 0
+	}
+	return float64(o.LiveEdges) / float64(o.CellsAllocated)
+}
+
+// CALFill is the fraction of reachable CAL slots holding a live edge copy.
+func (o Occupancy) CALFill() float64 {
+	if o.CALSlots == 0 {
+		return 0
+	}
+	return float64(o.CALLiveEdges) / float64(o.CALSlots)
+}

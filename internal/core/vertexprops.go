@@ -1,0 +1,32 @@
+package core
+
+// vertexProps is the VertexPropertyArray (Sec. III.B): per-vertex metadata
+// indexed by dense id. The engine keeps its own algorithm-specific property
+// arrays; the data structure itself tracks the out-degree (needed by the
+// hybrid engine's inference box), a general-purpose value and a flag word.
+type vertexProps struct {
+	degree []uint32
+	value  []float64
+	flags  []uint32
+}
+
+func newVertexProps(capacity int) *vertexProps {
+	return &vertexProps{
+		degree: make([]uint32, 0, capacity),
+		value:  make([]float64, 0, capacity),
+		flags:  make([]uint32, 0, capacity),
+	}
+}
+
+// ensure grows the arrays so dense id d is addressable.
+func (vp *vertexProps) ensure(d uint32) {
+	for uint32(len(vp.degree)) <= d {
+		vp.degree = append(vp.degree, 0)
+		vp.value = append(vp.value, 0)
+		vp.flags = append(vp.flags, 0)
+	}
+}
+
+func (vp *vertexProps) memoryBytes() uint64 {
+	return uint64(len(vp.degree))*4 + uint64(len(vp.value))*8 + uint64(len(vp.flags))*4
+}

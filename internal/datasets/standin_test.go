@@ -1,0 +1,83 @@
+package datasets
+
+import "testing"
+
+// Stand-in fidelity checks: the synthetic substitutes must exhibit the
+// structural properties the experiments exercise (see DESIGN.md,
+// Substitutions).
+
+func TestHollywoodStandInHasHighAvgDegree(t *testing.T) {
+	d, err := ByName("Hollywood-2009")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Measure(512, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The real hollywood-2009 averages ~100 edges/vertex (~50 per
+	// direction); the stand-in must stay in that regime at any scale.
+	if st.AvgOutDegree < 20 {
+		t.Fatalf("avg out-degree %.1f too low for the hollywood stand-in", st.AvgOutDegree)
+	}
+	// Heavy hitters: max degree far above average.
+	if float64(st.MaxOutDegree) < 5*st.AvgOutDegree {
+		t.Fatalf("no heavy hitters: max %d avg %.1f", st.MaxOutDegree, st.AvgOutDegree)
+	}
+}
+
+func TestKronStandInUsesGraph500Parameters(t *testing.T) {
+	d, err := ByName("Kron_g500-logn21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.ScaledParams(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.A != 0.57 || p.B != 0.19 || p.C != 0.19 {
+		t.Fatalf("kron stand-in parameters (%g,%g,%g) are not Graph500's", p.A, p.B, p.C)
+	}
+	if p.Scale != 21 {
+		t.Fatalf("kron stand-in scale %d, want 21 (logn21)", p.Scale)
+	}
+	if d.Symmetric {
+		t.Fatalf("kron stand-in should be directed")
+	}
+}
+
+func TestFullScaleCountsAreReachable(t *testing.T) {
+	// Divisor 1 must produce the paper's edge counts (not materialized
+	// here — just the parameter arithmetic).
+	for _, d := range Table1() {
+		p, err := d.ScaledParams(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d.Edges
+		if d.Symmetric {
+			want /= 2 // generator emits half, symmetrization doubles
+		}
+		if p.NumEdges != want {
+			t.Fatalf("%s: full-scale NumEdges %d, want %d", d.Name, p.NumEdges, want)
+		}
+	}
+}
+
+func TestScalingPreservesSkew(t *testing.T) {
+	d, _ := ByName("RMAT_2M_32M")
+	coarse, err := d.Measure(1024, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := d.Measure(256, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skew (max/avg) should grow or hold as scale grows, never collapse.
+	coarseSkew := float64(coarse.MaxOutDegree) / coarse.AvgOutDegree
+	fineSkew := float64(fine.MaxOutDegree) / fine.AvgOutDegree
+	if fineSkew < coarseSkew/2 {
+		t.Fatalf("skew collapsed with scale: %.1f -> %.1f", coarseSkew, fineSkew)
+	}
+}

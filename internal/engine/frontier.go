@@ -1,0 +1,50 @@
+package engine
+
+// frontier is the active-vertex set of one iteration: a bitmap for O(1)
+// membership tests during full-processing streams, plus a list for O(|A|)
+// iteration during incremental processing.
+type frontier struct {
+	bits []uint64
+	list []uint64
+}
+
+func newFrontier(n uint64) *frontier {
+	return &frontier{bits: make([]uint64, (n+63)/64)}
+}
+
+// grow makes vertex ids < n addressable.
+func (f *frontier) grow(n uint64) {
+	need := int((n + 63) / 64)
+	for len(f.bits) < need {
+		f.bits = append(f.bits, 0)
+	}
+}
+
+// add inserts v; duplicates are ignored.
+func (f *frontier) add(v uint64) {
+	w, b := v/64, v%64
+	if f.bits[w]&(1<<b) == 0 {
+		f.bits[w] |= 1 << b
+		f.list = append(f.list, v)
+	}
+}
+
+// contains tests membership.
+func (f *frontier) contains(v uint64) bool {
+	w := v / 64
+	if w >= uint64(len(f.bits)) {
+		return false
+	}
+	return f.bits[w]&(1<<(v%64)) != 0
+}
+
+// size is the number of active vertices.
+func (f *frontier) size() int { return len(f.list) }
+
+// clear empties the set in O(|A|).
+func (f *frontier) clear() {
+	for _, v := range f.list {
+		f.bits[v/64] &^= 1 << (v % 64)
+	}
+	f.list = f.list[:0]
+}

@@ -1,0 +1,77 @@
+package engine
+
+// Direct tests of the optional Program hooks (ScatterValue, ApplyVertex)
+// on the edge-centric engine, independent of the PageRank program that
+// motivated them.
+
+import (
+	"testing"
+
+	"graphtinker/internal/core"
+)
+
+func TestScatterValueOverridesProperty(t *testing.T) {
+	// A program whose scatter halves the source's property before it
+	// travels the edge; the fixed point on a path is 2^-k at depth k.
+	store := core.MustNew(core.DefaultConfig())
+	for i := uint64(0); i < 4; i++ {
+		store.InsertEdge(i, i+1, 1)
+	}
+	p := minProgram()
+	p.ScatterValue = func(src uint64, srcVal float64) float64 { return srcVal / 2 }
+	p.ProcessEdge = func(sv float64, w float32) float64 { return sv }
+	p.InitialSeeds = func(ctx SeedContext) {
+		ctx.SetValue(0, 16)
+		ctx.Activate(0)
+	}
+	for _, mode := range []Mode{FullProcessing, IncrementalProcessing} {
+		e := MustNew(store, p, Options{Mode: mode})
+		e.RunFromScratch()
+		want := []float64{16, 8, 4, 2, 1}
+		for v, w := range want {
+			if e.Value(uint64(v)) != w {
+				t.Fatalf("mode %v: val[%d] = %g, want %g", mode, v, e.Value(uint64(v)), w)
+			}
+		}
+	}
+}
+
+func TestApplyVertexReceivesVertexID(t *testing.T) {
+	store := newStore(t, []Edge{te(0, 1), te(0, 2), te(0, 3)})
+	p := minProgram()
+	seen := map[uint64]bool{}
+	p.Apply = nil
+	p.ApplyVertex = func(v uint64, old, reduced float64) (float64, bool) {
+		seen[v] = true
+		if reduced < old {
+			return reduced, true
+		}
+		return old, false
+	}
+	e := MustNew(store, p, Options{Mode: IncrementalProcessing})
+	e.RunFromScratch()
+	for _, v := range []uint64{1, 2, 3} {
+		if !seen[v] {
+			t.Fatalf("ApplyVertex never saw vertex %d", v)
+		}
+	}
+	if seen[0] {
+		t.Fatalf("root received a message on a DAG")
+	}
+	if e.Value(2) != 1 {
+		t.Fatalf("val[2] = %g", e.Value(2))
+	}
+}
+
+func TestApplyVertexAloneSatisfiesValidation(t *testing.T) {
+	p := minProgram()
+	p.Apply = nil
+	p.ApplyVertex = func(v uint64, old, reduced float64) (float64, bool) { return old, false }
+	if err := validateProgram(p); err != nil {
+		t.Fatalf("ApplyVertex-only program rejected: %v", err)
+	}
+	p.ApplyVertex = nil
+	if err := validateProgram(p); err == nil {
+		t.Fatalf("program without any apply accepted")
+	}
+}

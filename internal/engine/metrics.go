@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// IterationStats records one processing+apply iteration.
+type IterationStats struct {
+	// Index within the run, starting at 0.
+	Index int
+	// UsedFull is true when the iteration loaded edges by streaming the
+	// whole graph (FP path) rather than walking active vertices (IP path).
+	UsedFull bool
+	// Active is the number of active vertices entering the iteration.
+	Active uint64
+	// ActiveDegreeSum is the total out-degree of the active vertices (the
+	// additional heuristic input Sec. IV.B says the inference box collects).
+	ActiveDegreeSum uint64
+	// PredictorT is the inference-box value T = A/E computed for this
+	// iteration (meaningful in hybrid mode; recorded in all modes).
+	PredictorT float64
+	// EdgesLoaded counts edges retrieved from the store; EdgesProcessed
+	// counts those whose source was active (in IP mode they are equal).
+	EdgesLoaded    uint64
+	EdgesProcessed uint64
+	// TouchedVertices is how many destinations received messages.
+	TouchedVertices uint64
+	// Duration is the wall time of the iteration.
+	Duration time.Duration
+}
+
+// RunResult aggregates one engine run (one batch's worth of processing).
+type RunResult struct {
+	Algorithm  string
+	Mode       Mode
+	Iterations []IterationStats
+	// Totals across iterations.
+	EdgesLoaded    uint64
+	EdgesProcessed uint64
+	ActiveTotal    uint64
+	Duration       time.Duration
+	// Converged is false only when the iteration guard tripped.
+	Converged bool
+	// FullIterations / IncrementalIterations count the per-iteration path
+	// choices (in hybrid mode both can be non-zero).
+	FullIterations        int
+	IncrementalIterations int
+}
+
+// ThroughputMEPS is the run's edges-loaded throughput in million edges per
+// second — the y-axis of Figs. 11-13/15/16.
+func (r RunResult) ThroughputMEPS() float64 {
+	s := r.Duration.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.EdgesLoaded) / s / 1e6
+}
+
+// accumulate folds an iteration into the run totals.
+func (r *RunResult) accumulate(it IterationStats) {
+	r.Iterations = append(r.Iterations, it)
+	r.EdgesLoaded += it.EdgesLoaded
+	r.EdgesProcessed += it.EdgesProcessed
+	r.ActiveTotal += it.Active
+	r.Duration += it.Duration
+	if it.UsedFull {
+		r.FullIterations++
+	} else {
+		r.IncrementalIterations++
+	}
+}
+
+// FormatTrace renders the per-iteration decisions as an aligned table —
+// the inference-box trace the hybridengine example prints.
+func (r RunResult) FormatTrace() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s run, mode %v: %d iterations (%d full, %d incremental), %d edges loaded\n",
+		r.Algorithm, r.Mode, len(r.Iterations), r.FullIterations, r.IncrementalIterations, r.EdgesLoaded)
+	sb.WriteString("iter  active    degreeSum  T           path         loaded      touched\n")
+	for _, it := range r.Iterations {
+		path := "incremental"
+		if it.UsedFull {
+			path = "full"
+		}
+		fmt.Fprintf(&sb, "%4d  %8d  %9d  %.6f  %-11s  %10d  %7d\n",
+			it.Index, it.Active, it.ActiveDegreeSum, it.PredictorT, path, it.EdgesLoaded, it.TouchedVertices)
+	}
+	if !r.Converged {
+		sb.WriteString("WARNING: iteration guard tripped before convergence\n")
+	}
+	return sb.String()
+}
+
+// Merge sums another run into r (used to aggregate a whole workload of
+// batch-runs into one figure row).
+func (r *RunResult) Merge(other RunResult) {
+	r.EdgesLoaded += other.EdgesLoaded
+	r.EdgesProcessed += other.EdgesProcessed
+	r.ActiveTotal += other.ActiveTotal
+	r.Duration += other.Duration
+	r.FullIterations += other.FullIterations
+	r.IncrementalIterations += other.IncrementalIterations
+	if !other.Converged {
+		r.Converged = false
+	}
+}

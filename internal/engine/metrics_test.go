@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatTraceConvergedRun(t *testing.T) {
+	store := newStore(t, pathEdges(3))
+	e := MustNew(store, minProgram(), Options{Mode: Hybrid})
+	res := e.RunFromScratch()
+	out := res.FormatTrace()
+	if !strings.Contains(out, "test-bfs run, mode hybrid") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") < len(res.Iterations)+2 {
+		t.Fatalf("trace too short:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Fatalf("converged run warned:\n%s", out)
+	}
+}
+
+func TestFormatTraceNonConvergedRun(t *testing.T) {
+	store := newStore(t, []Edge{te(0, 1), te(1, 0)})
+	p := minProgram()
+	p.Apply = func(old, reduced float64) (float64, bool) { return reduced, true }
+	p.ProcessEdge = func(srcVal float64, w float32) float64 { return 0 }
+	e := MustNew(store, p, Options{Mode: IncrementalProcessing, MaxIterations: 3})
+	res := e.RunFromScratch()
+	out := res.FormatTrace()
+	if !strings.Contains(out, "WARNING: iteration guard tripped") {
+		t.Fatalf("non-convergence not flagged:\n%s", out)
+	}
+}
+
+func TestIterationStatsPathsLabelled(t *testing.T) {
+	store := newStore(t, pathEdges(2))
+	full := MustNew(store, minProgram(), Options{Mode: FullProcessing})
+	out := full.RunFromScratch().FormatTrace()
+	if strings.Contains(out, "incremental\n") {
+		t.Fatalf("full run shows incremental paths:\n%s", out)
+	}
+	inc := MustNew(store, minProgram(), Options{Mode: IncrementalProcessing})
+	out = inc.RunFromScratch().FormatTrace()
+	if !strings.Contains(out, "incremental") {
+		t.Fatalf("incremental run shows no incremental paths:\n%s", out)
+	}
+}

@@ -1,0 +1,13 @@
+package engine
+
+import "graphtinker/internal/stinger"
+
+// newStingerStore adapts a batch of engine edges into a loaded STINGER
+// instance for cross-store engine tests.
+func newStingerStore(edges []Edge) *stinger.Stinger {
+	st := stinger.MustNew(stinger.DefaultConfig())
+	for _, e := range edges {
+		st.InsertEdge(e.Src, e.Dst, e.Weight)
+	}
+	return st
+}

@@ -1,0 +1,206 @@
+// Package rmat implements the Graph500 R-MAT recursive-matrix graph
+// generator the paper uses for its synthetic datasets ("Introducing the
+// Graph 500", Murphy et al., CUG 2010). It also generates the
+// power-law-with-dense-communities stand-in graphs this reproduction
+// substitutes for the two offline-unavailable real-world datasets (see
+// DESIGN.md, Substitutions).
+package rmat
+
+import "fmt"
+
+// Params describes one R-MAT generation run.
+type Params struct {
+	// Scale is log2 of the number of vertices.
+	Scale int
+	// NumEdges is how many edge tuples to emit (duplicates possible, as
+	// with the Graph500 generator; streaming duplicates into the structures
+	// exercises their FIND/update paths exactly like the paper's batches).
+	NumEdges uint64
+	// A, B, C are the recursive quadrant probabilities (D = 1-A-B-C). The
+	// Graph500 defaults are 0.57, 0.19, 0.19 (D = 0.05).
+	A, B, C float64
+	// Seed makes generation deterministic.
+	Seed uint64
+	// MaxWeight bounds the uniformly drawn edge weights [1, MaxWeight].
+	// Zero means unweighted (all weights 1).
+	MaxWeight uint32
+	// Noise perturbs the quadrant probabilities per level (SKG noise),
+	// which smooths the degree distribution. 0 disables.
+	Noise float64
+}
+
+// Graph500Params returns the standard Graph500 parameters at the given
+// scale with edgeFactor edges per vertex.
+func Graph500Params(scale int, edgeFactor uint64, seed uint64) Params {
+	return Params{
+		Scale:     scale,
+		NumEdges:  (uint64(1) << uint(scale)) * edgeFactor,
+		A:         0.57,
+		B:         0.19,
+		C:         0.19,
+		Seed:      seed,
+		MaxWeight: 255,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Scale <= 0 || p.Scale > 40 {
+		return fmt.Errorf("rmat: scale %d out of range (1..40)", p.Scale)
+	}
+	if p.A <= 0 || p.B < 0 || p.C < 0 || p.A+p.B+p.C >= 1 {
+		return fmt.Errorf("rmat: invalid quadrant probabilities a=%g b=%g c=%g", p.A, p.B, p.C)
+	}
+	if p.Noise < 0 || p.Noise > 0.5 {
+		return fmt.Errorf("rmat: noise %g out of range (0..0.5)", p.Noise)
+	}
+	return nil
+}
+
+// NumVertices returns 2^Scale.
+func (p Params) NumVertices() uint64 { return 1 << uint(p.Scale) }
+
+// Edge is one generated edge tuple.
+type Edge struct {
+	Src    uint64
+	Dst    uint64
+	Weight float32
+}
+
+// prng is a splitmix64 stream.
+type prng struct{ s uint64 }
+
+func newPRNG(seed uint64) *prng { return &prng{s: seed} }
+
+func (r *prng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *prng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+func (r *prng) uint32n(n uint32) uint32 {
+	return uint32(r.next() % uint64(n))
+}
+
+// Generator streams R-MAT edges one at a time, so arbitrarily large edge
+// counts never need to be materialized.
+type Generator struct {
+	p   Params
+	rng *prng
+	n   uint64 // edges emitted so far
+}
+
+// NewGenerator validates the parameters and returns a streaming generator.
+func NewGenerator(p Params) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{p: p, rng: newPRNG(p.Seed)}, nil
+}
+
+// Next returns the next edge tuple and false once NumEdges have been
+// produced.
+func (g *Generator) Next() (Edge, bool) {
+	if g.n >= g.p.NumEdges {
+		return Edge{}, false
+	}
+	g.n++
+	src, dst := g.sample()
+	w := float32(1)
+	if g.p.MaxWeight > 0 {
+		w = float32(g.rng.uint32n(g.p.MaxWeight) + 1)
+	}
+	return Edge{Src: src, Dst: dst, Weight: w}, true
+}
+
+// Remaining reports how many edges the generator will still produce.
+func (g *Generator) Remaining() uint64 { return g.p.NumEdges - g.n }
+
+// sample draws one (src, dst) pair by recursive quadrant descent.
+func (g *Generator) sample() (uint64, uint64) {
+	a, b, c := g.p.A, g.p.B, g.p.C
+	var src, dst uint64
+	for level := 0; level < g.p.Scale; level++ {
+		la, lb, lc := a, b, c
+		if g.p.Noise > 0 {
+			// Perturb each quadrant probability multiplicatively and
+			// renormalize, per the smoothed Kronecker generator.
+			d := 1 - a - b - c
+			la *= 1 - g.p.Noise + 2*g.p.Noise*g.rng.float64()
+			lb *= 1 - g.p.Noise + 2*g.p.Noise*g.rng.float64()
+			lc *= 1 - g.p.Noise + 2*g.p.Noise*g.rng.float64()
+			ld := d * (1 - g.p.Noise + 2*g.p.Noise*g.rng.float64())
+			sum := la + lb + lc + ld
+			la /= sum
+			lb /= sum
+			lc /= sum
+		}
+		r := g.rng.float64()
+		src <<= 1
+		dst <<= 1
+		switch {
+		case r < la:
+			// top-left: no bits set
+		case r < la+lb:
+			dst |= 1
+		case r < la+lb+lc:
+			src |= 1
+		default:
+			src |= 1
+			dst |= 1
+		}
+	}
+	return src, dst
+}
+
+// Generate materializes all edges of one parameter set.
+func Generate(p Params) ([]Edge, error) {
+	g, err := NewGenerator(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Edge, 0, p.NumEdges)
+	for {
+		e, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// GenerateBatches materializes edges pre-split into batches of batchSize
+// (the paper loads every dataset in 1M-edge batches).
+func GenerateBatches(p Params, batchSize int) ([][]Edge, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("rmat: batch size %d must be positive", batchSize)
+	}
+	g, err := NewGenerator(p)
+	if err != nil {
+		return nil, err
+	}
+	var batches [][]Edge
+	cur := make([]Edge, 0, batchSize)
+	for {
+		e, ok := g.Next()
+		if !ok {
+			break
+		}
+		cur = append(cur, e)
+		if len(cur) == batchSize {
+			batches = append(batches, cur)
+			cur = make([]Edge, 0, batchSize)
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}

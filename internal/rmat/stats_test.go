@@ -1,0 +1,71 @@
+package rmat
+
+import "testing"
+
+// Statistical sanity checks on the generator's distributions.
+
+func TestQuadrantBiasTowardLowIDs(t *testing.T) {
+	// With A=0.57 the mass concentrates in the low-id quadrant: the mean
+	// source id must sit well below the uniform midpoint.
+	p := Graph500Params(14, 8, 21)
+	edges, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, e := range edges {
+		sum += float64(e.Src)
+	}
+	mean := sum / float64(len(edges))
+	mid := float64(p.NumVertices()) / 2
+	if mean > mid*0.7 {
+		t.Fatalf("mean src id %.0f not biased below midpoint %.0f", mean, mid)
+	}
+}
+
+func TestSymmetricParamsGiveSymmetricMarginals(t *testing.T) {
+	// With B == C the source and destination marginals should be close.
+	p := Graph500Params(12, 8, 33)
+	edges, _ := Generate(p)
+	var srcSum, dstSum float64
+	for _, e := range edges {
+		srcSum += float64(e.Src)
+		dstSum += float64(e.Dst)
+	}
+	ratio := srcSum / dstSum
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("marginals diverge: ratio %.3f", ratio)
+	}
+}
+
+func TestWeightsCoverTheRange(t *testing.T) {
+	p := Graph500Params(12, 8, 5)
+	p.MaxWeight = 4
+	edges, _ := Generate(p)
+	seen := map[float32]bool{}
+	for _, e := range edges {
+		seen[e.Weight] = true
+	}
+	for w := float32(1); w <= 4; w++ {
+		if !seen[w] {
+			t.Fatalf("weight %g never drawn", w)
+		}
+	}
+	if seen[0] || seen[5] {
+		t.Fatalf("weights escaped [1,4]")
+	}
+}
+
+func TestDistinctSeedsDecorrelate(t *testing.T) {
+	a, _ := Generate(Graph500Params(12, 4, 1))
+	b, _ := Generate(Graph500Params(12, 4, 2))
+	same := 0
+	for i := range a {
+		if a[i].Src == b[i].Src && a[i].Dst == b[i].Dst {
+			same++
+		}
+	}
+	if float64(same) > 0.01*float64(len(a)) {
+		t.Fatalf("streams correlate: %d/%d identical tuples", same, len(a))
+	}
+}

@@ -1,0 +1,59 @@
+package stinger
+
+import "testing"
+
+func benchEdges(n int, vertices uint64, seed uint64) []Edge {
+	r := &testRand{s: seed}
+	out := make([]Edge, n)
+	for i := range out {
+		u := r.next() % vertices
+		src := (u * u) % vertices
+		out[i] = Edge{Src: src, Dst: r.next() % vertices, Weight: 1}
+	}
+	return out
+}
+
+func BenchmarkInsert(b *testing.B) {
+	edges := benchEdges(400_000, 8192, 7)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := MustNew(DefaultConfig())
+		st.InsertBatch(edges)
+	}
+	b.SetBytes(int64(len(edges)))
+}
+
+func BenchmarkFindEdgeHit(b *testing.B) {
+	edges := benchEdges(200_000, 4096, 9)
+	st := MustNew(DefaultConfig())
+	st.InsertBatch(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		st.FindEdge(e.Src, e.Dst)
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	edges := benchEdges(200_000, 4096, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := MustNew(DefaultConfig())
+		st.InsertBatch(edges)
+		b.StartTimer()
+		st.DeleteBatch(edges)
+	}
+}
+
+func BenchmarkForEachEdge(b *testing.B) {
+	edges := benchEdges(200_000, 4096, 13)
+	st := MustNew(DefaultConfig())
+	st.InsertBatch(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		st.ForEachEdge(func(src, dst uint64, w float32) bool { n++; return true })
+	}
+}

@@ -1,0 +1,355 @@
+package stinger
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Reference model shared by the STINGER tests.
+type refGraph struct {
+	adj map[uint64]map[uint64]float32
+}
+
+func newRefGraph() *refGraph { return &refGraph{adj: make(map[uint64]map[uint64]float32)} }
+
+func (r *refGraph) insert(src, dst uint64, w float32) bool {
+	m, ok := r.adj[src]
+	if !ok {
+		m = make(map[uint64]float32)
+		r.adj[src] = m
+	}
+	_, existed := m[dst]
+	m[dst] = w
+	return !existed
+}
+
+func (r *refGraph) delete(src, dst uint64) bool {
+	if m, ok := r.adj[src]; ok {
+		if _, ok := m[dst]; ok {
+			delete(m, dst)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refGraph) numEdges() uint64 {
+	var n uint64
+	for _, m := range r.adj {
+		n += uint64(len(m))
+	}
+	return n
+}
+
+type testRand struct{ s uint64 }
+
+func (r *testRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+func (r *testRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if _, err := New(Config{EdgesPerBlock: 0}); err == nil {
+		t.Fatalf("zero block size accepted")
+	}
+	if _, err := New(Config{EdgesPerBlock: 16, InitialVertexCapacity: -1}); err == nil {
+		t.Fatalf("negative capacity accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestInsertFindDelete(t *testing.T) {
+	st := MustNew(DefaultConfig())
+	if !st.InsertEdge(1, 2, 3) {
+		t.Fatalf("insert new = false")
+	}
+	if st.InsertEdge(1, 2, 5) {
+		t.Fatalf("duplicate insert reported new")
+	}
+	if w, ok := st.FindEdge(1, 2); !ok || w != 5 {
+		t.Fatalf("FindEdge = (%g,%v)", w, ok)
+	}
+	if _, ok := st.FindEdge(2, 1); ok {
+		t.Fatalf("reverse edge present")
+	}
+	if !st.DeleteEdge(1, 2) || st.DeleteEdge(1, 2) {
+		t.Fatalf("delete semantics wrong")
+	}
+	if st.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d", st.NumEdges())
+	}
+	stats := st.Stats()
+	if stats.Inserts != 1 || stats.Updates != 1 || stats.Deletes != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	st.ResetStats()
+	if st.Stats() != (Stats{}) {
+		t.Fatalf("ResetStats left %+v", st.Stats())
+	}
+}
+
+func TestChainGrowthBeyondOneBlock(t *testing.T) {
+	st := MustNew(DefaultConfig())
+	const deg = 100 // > 16 per block → chained blocks
+	for i := 0; i < deg; i++ {
+		st.InsertEdge(7, uint64(i), 1)
+	}
+	if st.OutDegree(7) != deg {
+		t.Fatalf("OutDegree = %d", st.OutDegree(7))
+	}
+	if st.Stats().BlocksAllocated < deg/16 {
+		t.Fatalf("expected chained blocks, allocated %d", st.Stats().BlocksAllocated)
+	}
+	for i := 0; i < deg; i++ {
+		if _, ok := st.FindEdge(7, uint64(i)); !ok {
+			t.Fatalf("edge %d lost", i)
+		}
+	}
+}
+
+func TestDeletedSlotsAreReused(t *testing.T) {
+	st := MustNew(DefaultConfig())
+	for i := 0; i < 64; i++ {
+		st.InsertEdge(1, uint64(i), 1)
+	}
+	blocks := st.Stats().BlocksAllocated
+	for i := 0; i < 64; i++ {
+		st.DeleteEdge(1, uint64(i))
+	}
+	for i := 100; i < 164; i++ {
+		st.InsertEdge(1, uint64(i), 1)
+	}
+	if st.Stats().BlocksAllocated != blocks {
+		t.Fatalf("reinsertion allocated blocks: %d -> %d", blocks, st.Stats().BlocksAllocated)
+	}
+}
+
+func TestRandomOpsEquivalence(t *testing.T) {
+	st := MustNew(DefaultConfig())
+	ref := newRefGraph()
+	r := &testRand{s: 42}
+	for i := 0; i < 30000; i++ {
+		src, dst := uint64(r.intn(150)), uint64(r.intn(150))
+		if r.intn(3) == 2 {
+			if got, want := st.DeleteEdge(src, dst), ref.delete(src, dst); got != want {
+				t.Fatalf("op %d delete: got %v want %v", i, got, want)
+			}
+		} else {
+			w := float32(r.intn(100))
+			if got, want := st.InsertEdge(src, dst, w), ref.insert(src, dst, w); got != want {
+				t.Fatalf("op %d insert: got %v want %v", i, got, want)
+			}
+		}
+	}
+	if st.NumEdges() != ref.numEdges() {
+		t.Fatalf("NumEdges = %d, want %d", st.NumEdges(), ref.numEdges())
+	}
+	// Full iteration equivalence.
+	type key struct{ src, dst uint64 }
+	got := map[key]float32{}
+	st.ForEachEdge(func(src, dst uint64, w float32) bool {
+		got[key{src, dst}] = w
+		return true
+	})
+	for src, m := range ref.adj {
+		for dst, w := range m {
+			if gw, ok := got[key{src, dst}]; !ok || gw != w {
+				t.Fatalf("edge (%d,%d) mismatch: (%g,%v) want %g", src, dst, gw, ok, w)
+			}
+		}
+		if st.OutDegree(src) != uint32(len(m)) {
+			t.Fatalf("degree(%d) = %d, want %d", src, st.OutDegree(src), len(m))
+		}
+	}
+	if uint64(len(got)) != ref.numEdges() {
+		t.Fatalf("iterated %d edges, want %d", len(got), ref.numEdges())
+	}
+}
+
+func TestProbeCostGrowsWithDegree(t *testing.T) {
+	// The defining weakness: per-insert probe cost grows linearly with the
+	// vertex degree. Verify inserting the Nth edge costs more inspections
+	// than inserting the first.
+	st := MustNew(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		st.InsertEdge(1, uint64(i), 1)
+	}
+	before := st.Stats().CellsInspected
+	st.InsertEdge(1, 5000, 1)
+	costLate := st.Stats().CellsInspected - before
+
+	st2 := MustNew(DefaultConfig())
+	before = st2.Stats().CellsInspected
+	st2.InsertEdge(1, 5000, 1)
+	costEarly := st2.Stats().CellsInspected - before
+	if costLate < 10*costEarly {
+		t.Fatalf("late insert cost %d not ≫ early cost %d", costLate, costEarly)
+	}
+}
+
+func TestForEachEdgeScansEmptyVertices(t *testing.T) {
+	// STINGER's full scan covers the entire logical vertex array.
+	st := MustNew(DefaultConfig())
+	st.InsertEdge(0, 1, 1)
+	st.InsertEdge(99999, 1, 1)
+	var edges []Edge
+	st.ForEachEdge(func(src, dst uint64, w float32) bool {
+		edges = append(edges, Edge{src, dst, w})
+		return true
+	})
+	if len(edges) != 2 {
+		t.Fatalf("found %d edges", len(edges))
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Src < edges[j].Src })
+	if edges[0].Src != 0 || edges[1].Src != 99999 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if len(st.vertices) < 100000 {
+		t.Fatalf("vertex table should span the raw id space; len=%d", len(st.vertices))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	st := MustNew(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		st.InsertEdge(uint64(i%3), uint64(i), 1)
+	}
+	n := 0
+	st.ForEachEdge(func(src, dst uint64, w float32) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	n = 0
+	st.ForEachOutEdge(0, func(dst uint64, w float32) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("out-edge early stop visited %d", n)
+	}
+}
+
+func TestMaxVertexIDAndMemory(t *testing.T) {
+	st := MustNew(DefaultConfig())
+	if _, ok := st.MaxVertexID(); ok {
+		t.Fatalf("empty graph reported vertices")
+	}
+	st.InsertEdge(5, 800, 1)
+	if id, ok := st.MaxVertexID(); !ok || id != 800 {
+		t.Fatalf("MaxVertexID = (%d,%v)", id, ok)
+	}
+	if st.MemoryBytes() == 0 {
+		t.Fatalf("memory accounting returned 0")
+	}
+}
+
+func TestOutEdgesAndEdgesSnapshots(t *testing.T) {
+	st := MustNew(DefaultConfig())
+	st.InsertEdge(1, 2, 1)
+	st.InsertEdge(1, 3, 2)
+	st.InsertEdge(4, 5, 3)
+	if got := len(st.OutEdges(1)); got != 2 {
+		t.Fatalf("OutEdges(1) = %d", got)
+	}
+	if got := len(st.Edges()); got != 3 {
+		t.Fatalf("Edges() = %d", got)
+	}
+	if got := st.OutEdges(777); got != nil {
+		t.Fatalf("OutEdges of unknown vertex = %v", got)
+	}
+}
+
+func TestParallelMatchesSingle(t *testing.T) {
+	single := MustNew(DefaultConfig())
+	par, err := NewParallel(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatalf("NewParallel: %v", err)
+	}
+	r := &testRand{s: 31337}
+	var batch []Edge
+	for i := 0; i < 10000; i++ {
+		batch = append(batch, Edge{uint64(r.intn(300)), uint64(r.intn(300)), 1})
+	}
+	a := single.InsertBatch(batch)
+	b := par.InsertBatch(batch)
+	if a != b {
+		t.Fatalf("new counts differ: %d vs %d", a, b)
+	}
+	if single.NumEdges() != par.NumEdges() {
+		t.Fatalf("edge counts differ")
+	}
+	del := par.DeleteBatch(batch[:2000])
+	sdel := single.DeleteBatch(batch[:2000])
+	if del != sdel {
+		t.Fatalf("delete counts differ: %d vs %d", del, sdel)
+	}
+	for _, e := range batch[:100] {
+		sw, sok := single.FindEdge(e.Src, e.Dst)
+		pw, pok := par.FindEdge(e.Src, e.Dst)
+		if sw != pw || sok != pok {
+			t.Fatalf("FindEdge differs for %v", e)
+		}
+	}
+	if par.Stats().Inserts != single.Stats().Inserts {
+		t.Fatalf("merged insert stats differ")
+	}
+	if par.Shards() != 4 || par.Shard(0) == nil {
+		t.Fatalf("shard accessors broken")
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	if _, err := NewParallel(DefaultConfig(), 0); err == nil {
+		t.Fatalf("zero shards accepted")
+	}
+	if _, err := NewParallel(Config{}, 2); err == nil {
+		t.Fatalf("invalid config accepted")
+	}
+}
+
+func TestQuickEquivalence(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Src  uint16
+		Dst  uint16
+		W    uint16
+	}
+	prop := func(ops []op) bool {
+		st := MustNew(DefaultConfig())
+		ref := newRefGraph()
+		for _, o := range ops {
+			src, dst := uint64(o.Src%64), uint64(o.Dst%64)
+			w := float32(o.W % 100)
+			if o.Kind%3 == 2 {
+				if st.DeleteEdge(src, dst) != ref.delete(src, dst) {
+					return false
+				}
+			} else {
+				if st.InsertEdge(src, dst, w) != ref.insert(src, dst, w) {
+					return false
+				}
+			}
+		}
+		return st.NumEdges() == ref.numEdges()
+	}
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}

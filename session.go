@@ -1,0 +1,164 @@
+package graphtinker
+
+// Session is the high-level orchestration layer for dynamic-graph
+// analytics: one GraphTinker store plus any number of attached vertex
+// programs, kept up to date as batches stream in. It packages the paper's
+// two-step loop (apply batch, then run analytics on the current graph
+// state) behind a single call, choosing the correct recomputation strategy
+// per attachment when deletions invalidate monotone incremental state.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AttachmentPolicy controls how an attached program reacts to batches.
+type AttachmentPolicy struct {
+	// Mode is the engine execution model for insertion batches.
+	Mode Mode
+	// Threshold overrides the hybrid inference-box threshold (0 = 0.02).
+	Threshold float64
+	// MaxIterations guards non-converging programs (0 = vertex count + 2).
+	MaxIterations int
+	// RecomputeOnDelete, when true (the default for monotone programs),
+	// makes any batch that contains deletions trigger a from-scratch run:
+	// min-based programs cannot raise properties incrementally, exactly
+	// why the paper evaluates post-deletion analytics in full-processing
+	// mode (Fig. 15).
+	RecomputeOnDelete bool
+}
+
+// DefaultAttachmentPolicy runs hybrid with recompute-on-delete.
+func DefaultAttachmentPolicy() AttachmentPolicy {
+	return AttachmentPolicy{Mode: Hybrid, RecomputeOnDelete: true}
+}
+
+// Session owns a store and its attached engines.
+type Session struct {
+	graph   *Graph
+	engines map[string]*sessionAttachment
+}
+
+type sessionAttachment struct {
+	engine *Engine
+	policy AttachmentPolicy
+}
+
+// NewSession builds a session over a fresh store.
+func NewSession(cfg Config) (*Session, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{graph: g, engines: make(map[string]*sessionAttachment)}, nil
+}
+
+// Graph exposes the underlying store (queries are fine; mutate only
+// through the session so attached engines stay consistent).
+func (s *Session) Graph() *Graph { return s.graph }
+
+// Attach registers a named program. The name keys later Value/Results
+// lookups.
+func (s *Session) Attach(name string, prog Program, policy AttachmentPolicy) error {
+	if _, dup := s.engines[name]; dup {
+		return fmt.Errorf("graphtinker: program %q already attached", name)
+	}
+	eng, err := NewEngine(s.graph, prog, EngineOptions{
+		Mode:          policy.Mode,
+		Threshold:     policy.Threshold,
+		MaxIterations: policy.MaxIterations,
+	})
+	if err != nil {
+		return err
+	}
+	s.engines[name] = &sessionAttachment{engine: eng, policy: policy}
+	return nil
+}
+
+// Detach removes a named program; it reports whether it was attached.
+func (s *Session) Detach(name string) bool {
+	if _, ok := s.engines[name]; !ok {
+		return false
+	}
+	delete(s.engines, name)
+	return true
+}
+
+// Attached lists the attached program names, sorted.
+func (s *Session) Attached() []string {
+	names := make([]string, 0, len(s.engines))
+	for n := range s.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Batch is one update interval: insertions and deletions applied together
+// before analytics run.
+type Batch struct {
+	Insert []Edge
+	Delete []Edge
+}
+
+// BatchOutcome reports what one ApplyBatch did.
+type BatchOutcome struct {
+	// Inserted / Deleted are the numbers of edges actually added/removed
+	// (duplicates and absentees excluded).
+	Inserted int
+	Deleted  int
+	// Runs holds each attached program's engine result, keyed by name.
+	Runs map[string]RunResult
+	// Recomputed lists the programs that ran from scratch because the
+	// batch contained deletions.
+	Recomputed []string
+}
+
+// ApplyBatch applies the updates to the store, then runs every attached
+// program on the new graph state per its policy.
+func (s *Session) ApplyBatch(b Batch) BatchOutcome {
+	out := BatchOutcome{Runs: make(map[string]RunResult, len(s.engines))}
+	out.Inserted = s.graph.InsertBatch(b.Insert)
+	out.Deleted = s.graph.DeleteBatch(b.Delete)
+
+	hasDeletes := out.Deleted > 0
+	for _, name := range s.Attached() {
+		att := s.engines[name]
+		var res RunResult
+		if hasDeletes && att.policy.RecomputeOnDelete {
+			res = att.engine.RunFromScratch()
+			out.Recomputed = append(out.Recomputed, name)
+		} else {
+			res = att.engine.RunAfterBatch(b.Insert)
+		}
+		out.Runs[name] = res
+	}
+	return out
+}
+
+// Recompute forces a named program to run from scratch now.
+func (s *Session) Recompute(name string) (RunResult, error) {
+	att, ok := s.engines[name]
+	if !ok {
+		return RunResult{}, fmt.Errorf("graphtinker: no program %q attached", name)
+	}
+	return att.engine.RunFromScratch(), nil
+}
+
+// Value returns the named program's current property of vertex v.
+func (s *Session) Value(name string, v uint64) (float64, error) {
+	att, ok := s.engines[name]
+	if !ok {
+		return 0, fmt.Errorf("graphtinker: no program %q attached", name)
+	}
+	return att.engine.Value(v), nil
+}
+
+// Engine exposes the named program's engine (read-mostly use).
+func (s *Session) Engine(name string) (*Engine, bool) {
+	att, ok := s.engines[name]
+	if !ok {
+		return nil, false
+	}
+	return att.engine, true
+}

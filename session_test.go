@@ -1,0 +1,199 @@
+package graphtinker
+
+import (
+	"math"
+	"testing"
+)
+
+func newSessionT(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionAttachDetach(t *testing.T) {
+	s := newSessionT(t)
+	if err := s.Attach("bfs", BFS(0), DefaultAttachmentPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach("bfs", BFS(0), DefaultAttachmentPolicy()); err == nil {
+		t.Fatalf("duplicate attach accepted")
+	}
+	if err := s.Attach("bad", Program{}, DefaultAttachmentPolicy()); err == nil {
+		t.Fatalf("invalid program accepted")
+	}
+	if got := s.Attached(); len(got) != 1 || got[0] != "bfs" {
+		t.Fatalf("Attached = %v", got)
+	}
+	if !s.Detach("bfs") || s.Detach("bfs") {
+		t.Fatalf("detach semantics wrong")
+	}
+}
+
+func TestSessionStreamingBFSAndCC(t *testing.T) {
+	s := newSessionT(t)
+	if err := s.Attach("bfs", BFS(0), DefaultAttachmentPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	ccPolicy := DefaultAttachmentPolicy()
+	ccPolicy.Mode = IncrementalProcessing
+	if err := s.Attach("cc", CC(), ccPolicy); err != nil {
+		t.Fatal(err)
+	}
+
+	out := s.ApplyBatch(Batch{Insert: []Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+	}})
+	if out.Inserted != 2 || out.Deleted != 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if len(out.Runs) != 2 || len(out.Recomputed) != 0 {
+		t.Fatalf("runs = %v recomputed = %v", out.Runs, out.Recomputed)
+	}
+	if v, err := s.Value("bfs", 2); err != nil || v != 2 {
+		t.Fatalf("bfs[2] = (%g,%v)", v, err)
+	}
+	if v, _ := s.Value("cc", 2); v != 0 {
+		t.Fatalf("cc[2] = %g", v)
+	}
+
+	// Second insertion batch continues incrementally.
+	out = s.ApplyBatch(Batch{Insert: []Edge{{Src: 2, Dst: 3, Weight: 1}}})
+	if v, _ := s.Value("bfs", 3); v != 3 {
+		t.Fatalf("bfs[3] = %g", v)
+	}
+	if run := out.Runs["bfs"]; !run.Converged {
+		t.Fatalf("bfs run did not converge")
+	}
+}
+
+func TestSessionDeletionTriggersRecompute(t *testing.T) {
+	s := newSessionT(t)
+	if err := s.Attach("bfs", BFS(0), DefaultAttachmentPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyBatch(Batch{Insert: []Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 0, Dst: 2, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+	}})
+	if v, _ := s.Value("bfs", 2); v != 1 {
+		t.Fatalf("bfs[2] = %g before delete", v)
+	}
+	// Deleting the direct edge 0->2 must RAISE bfs[2] to 2 — only a
+	// recompute can do that.
+	out := s.ApplyBatch(Batch{Delete: []Edge{{Src: 0, Dst: 2}}})
+	if len(out.Recomputed) != 1 || out.Recomputed[0] != "bfs" {
+		t.Fatalf("recompute not triggered: %+v", out)
+	}
+	if v, _ := s.Value("bfs", 2); v != 2 {
+		t.Fatalf("bfs[2] = %g after delete, want 2", v)
+	}
+
+	// Disconnect vertex 1 entirely; it must become unreached.
+	s.ApplyBatch(Batch{Delete: []Edge{{Src: 0, Dst: 1}}})
+	if v, _ := s.Value("bfs", 1); !math.IsInf(v, 1) {
+		t.Fatalf("bfs[1] = %g after disconnect", v)
+	}
+}
+
+func TestSessionNoRecomputeWhenPolicyDisabled(t *testing.T) {
+	s := newSessionT(t)
+	p := DefaultAttachmentPolicy()
+	p.RecomputeOnDelete = false
+	if err := s.Attach("cc", CC(), p); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyBatch(Batch{Insert: []Edge{{Src: 0, Dst: 1, Weight: 1}}})
+	out := s.ApplyBatch(Batch{Delete: []Edge{{Src: 0, Dst: 1}}})
+	if len(out.Recomputed) != 0 {
+		t.Fatalf("recompute ran despite policy: %v", out.Recomputed)
+	}
+}
+
+func TestSessionDeleteOfAbsentEdgesIsNotADeletion(t *testing.T) {
+	s := newSessionT(t)
+	if err := s.Attach("bfs", BFS(0), DefaultAttachmentPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyBatch(Batch{Insert: []Edge{{Src: 0, Dst: 1, Weight: 1}}})
+	out := s.ApplyBatch(Batch{Delete: []Edge{{Src: 5, Dst: 6}}})
+	if out.Deleted != 0 || len(out.Recomputed) != 0 {
+		t.Fatalf("phantom deletion triggered recompute: %+v", out)
+	}
+}
+
+func TestSessionLookupsOnUnknownName(t *testing.T) {
+	s := newSessionT(t)
+	if _, err := s.Value("nope", 0); err == nil {
+		t.Fatalf("unknown name accepted by Value")
+	}
+	if _, err := s.Recompute("nope"); err == nil {
+		t.Fatalf("unknown name accepted by Recompute")
+	}
+	if _, ok := s.Engine("nope"); ok {
+		t.Fatalf("unknown name returned an engine")
+	}
+}
+
+func TestSessionRecomputeAndEngineAccess(t *testing.T) {
+	s := newSessionT(t)
+	if err := s.Attach("bfs", BFS(0), DefaultAttachmentPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyBatch(Batch{Insert: []Edge{{Src: 0, Dst: 1, Weight: 1}}})
+	res, err := s.Recompute("bfs")
+	if err != nil || !res.Converged {
+		t.Fatalf("recompute: %v %+v", err, res)
+	}
+	eng, ok := s.Engine("bfs")
+	if !ok || eng.Value(1) != 1 {
+		t.Fatalf("engine access broken")
+	}
+	if s.Graph().NumEdges() != 1 {
+		t.Fatalf("graph accessor broken")
+	}
+}
+
+func TestSessionMatchesManualOrchestration(t *testing.T) {
+	// The session must produce identical results to the hand-rolled loop
+	// the examples use.
+	var batches [][]Edge
+	seed := uint64(5)
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return z ^ (z >> 27)
+	}
+	for b := 0; b < 5; b++ {
+		var batch []Edge
+		for i := 0; i < 200; i++ {
+			batch = append(batch, Edge{Src: next() % 64, Dst: next() % 64, Weight: 1})
+		}
+		batches = append(batches, batch)
+	}
+
+	s := newSessionT(t)
+	if err := s.Attach("bfs", BFS(0), DefaultAttachmentPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	manualStore := MustNew(DefaultConfig())
+	manual := MustNewEngine(manualStore, BFS(0), EngineOptions{Mode: Hybrid})
+	for _, b := range batches {
+		s.ApplyBatch(Batch{Insert: b})
+		manualStore.InsertBatch(b)
+		manual.RunAfterBatch(b)
+	}
+	eng, _ := s.Engine("bfs")
+	if eng.NumVertices() != manual.NumVertices() {
+		t.Fatalf("vertex spaces differ")
+	}
+	for v := uint64(0); v < manual.NumVertices(); v++ {
+		sv, _ := s.Value("bfs", v)
+		if sv != manual.Value(v) {
+			t.Fatalf("val[%d]: session %g, manual %g", v, sv, manual.Value(v))
+		}
+	}
+}
