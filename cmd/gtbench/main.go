@@ -15,9 +15,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -27,21 +30,51 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		listFlag  = flag.Bool("list", false, "list available experiments and exit")
-		scale     = flag.Int("scale", 256, "dataset scale divisor (1 = full paper size)")
-		batches   = flag.Int("batches", 10, "update batches per workload")
-		threshold = flag.Float64("threshold", 0, "hybrid inference-box threshold (0 = paper's 0.02)")
-		cores     = flag.String("cores", "1,2,4,8", "core counts for fig10")
-		pws       = flag.String("pagewidths", "16,32,64,128,256", "PAGEWIDTH sweep for fig17/fig18")
-		pws19     = flag.String("fig19pagewidths", "8,16,32,64,128,256", "PAGEWIDTH sweep for fig19")
-		roots     = flag.Int("roots", 20, "high-degree roots rotated through in fig19")
-		repeats   = flag.Int("repeats", 1, "best-of-N repetition for timed analytics figures")
-		format    = flag.String("format", "table", "output format: table | csv")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		listFlag   = flag.Bool("list", false, "list available experiments and exit")
+		scale      = flag.Int("scale", 256, "dataset scale divisor (1 = full paper size)")
+		batches    = flag.Int("batches", 10, "update batches per workload")
+		threshold  = flag.Float64("threshold", 0, "hybrid inference-box threshold (0 = paper's 0.02)")
+		cores      = flag.String("cores", "1,2,4,8", "core counts for fig10")
+		pws        = flag.String("pagewidths", "16,32,64,128,256", "PAGEWIDTH sweep for fig17/fig18")
+		pws19      = flag.String("fig19pagewidths", "8,16,32,64,128,256", "PAGEWIDTH sweep for fig19")
+		roots      = flag.Int("roots", 20, "high-degree roots rotated through in fig19")
+		repeats    = flag.Int("repeats", 1, "best-of-N repetition for timed analytics figures")
+		format     = flag.String("format", "table", "output format: table | csv")
+		metricsOut = flag.String("metrics-out", "", "write update-path histograms and per-iteration engine traces to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fatal("unknown -format %q (table or csv)", *format)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("-memprofile: %v", err)
+			}
+		}()
 	}
 
 	if *listFlag {
@@ -57,6 +90,9 @@ func main() {
 	opts.Threshold = *threshold
 	opts.Roots = *roots
 	opts.Repeats = *repeats
+	if *metricsOut != "" {
+		opts.Collector = bench.NewCollector()
+	}
 	var err error
 	if opts.Cores, err = parseInts(*cores); err != nil {
 		fatal("bad -cores: %v", err)
@@ -110,6 +146,17 @@ func main() {
 			fmt.Print(tb.Format())
 			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		}
+	}
+
+	if *metricsOut != "" {
+		raw, err := json.MarshalIndent(opts.Collector.Snapshot(), "", "  ")
+		if err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		if err := os.WriteFile(*metricsOut, append(raw, '\n'), 0o644); err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "gtbench: metrics written to %s\n", *metricsOut)
 	}
 }
 

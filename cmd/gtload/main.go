@@ -10,14 +10,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"graphtinker/internal/core"
 	"graphtinker/internal/datasets"
 	"graphtinker/internal/edgefile"
+	"graphtinker/internal/metrics"
 	"graphtinker/internal/rmat"
 )
 
@@ -38,8 +42,38 @@ func main() {
 		noSGH      = flag.Bool("no-sgh", false, "disable Scatter-Gather Hashing")
 		compact    = flag.Bool("compact", false, "use the delete-and-compact mechanism")
 		histograms = flag.Bool("histograms", false, "print probe/generation/degree histograms after loading")
+		metricsOut = flag.String("metrics-out", "", "write per-insert latency/probe histograms and store counters to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the load to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("-memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, d := range datasets.Table1() {
@@ -104,6 +138,11 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	var rec *metrics.UpdateRecorder
+	if *metricsOut != "" {
+		rec = metrics.NewUpdateRecorder()
+		g.Instrument(rec)
+	}
 
 	fmt.Printf("loading %s (%d batches of <=%d edges)\n", label, len(batches), *batch)
 	var total int
@@ -141,6 +180,24 @@ func main() {
 	}
 	fmt.Printf("memory:              %.1f MB (EBA %.1f, CAL %.1f, SGH %.1f, props %.1f)\n",
 		mb(mem.Total()), mb(mem.EdgeblockArrayBytes), mb(mem.CALBytes), mb(mem.SGHBytes), mb(mem.VertexPropsBytes))
+
+	if *metricsOut != "" {
+		doc := struct {
+			Label   string                   `json:"label"`
+			Edges   int                      `json:"edges"`
+			Seconds float64                  `json:"seconds"`
+			Store   core.Stats               `json:"store"`
+			Updates metrics.RecorderSnapshot `json:"updates"`
+		}{label, total, elapsed.Seconds(), st, rec.Snapshot()}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		if err := os.WriteFile(*metricsOut, append(raw, '\n'), 0o644); err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
 
 	if *histograms {
 		h := g.AnalyzeProbes()

@@ -29,7 +29,7 @@ func Ablation(opts Options) (Table, error) {
 
 	runGT := func(mutate ...func(*core.Config)) workloadResult {
 		g := core.MustNew(gtConfig(mutate...))
-		return analyticsWorkload(g, gtStore{g}, batches, prog, engine.FullProcessing, opts.Threshold)
+		return analyticsWorkload(opts, "ablation/gt", g, gtStore{g}, batches, prog, engine.FullProcessing)
 	}
 	full := runGT()
 	noSGH := runGT(func(c *core.Config) { c.EnableSGH = false })
@@ -39,7 +39,7 @@ func Ablation(opts Options) (Table, error) {
 		func(c *core.Config) { c.EnableCAL = false },
 	)
 	st := stinger.MustNew(stinger.DefaultConfig())
-	stRes := analyticsWorkload(st, stStore{st}, batches, prog, engine.FullProcessing, opts.Threshold)
+	stRes := analyticsWorkload(opts, "ablation/stinger", st, stStore{st}, batches, prog, engine.FullProcessing)
 
 	t := Table{
 		ID:      "ablation",

@@ -33,7 +33,7 @@ func ExtWorkblock(opts Options) (Table, error) {
 	for _, wb := range []int{1, 2, 4, 8} {
 		cfg := gtConfig(func(c *core.Config) { c.WorkblockSize = wb })
 		g := core.MustNew(cfg)
-		ts := insertTimed(gtStore{g}, batches)
+		ts := insertTimed(opts, gtStore{g}, batches)
 		st := g.Stats()
 		ops := float64(st.Inserts + st.Updates)
 		const cellBytes = 23
@@ -73,10 +73,10 @@ func ExtCALGroup(opts Options) (Table, error) {
 	for _, gs := range []int{16, 128, 1024, 8192} {
 		cfg := gtConfig(func(c *core.Config) { c.CALGroupSize = gs })
 		g := core.MustNew(cfg)
-		ts := insertTimed(gtStore{g}, batches)
+		ts := insertTimed(opts, gtStore{g}, batches)
 
 		g2 := core.MustNew(cfg)
-		res := analyticsWorkload(g2, gtStore{g2}, batches, prog, engine.FullProcessing, opts.Threshold)
+		res := analyticsWorkload(opts, "ext-cal/gs"+itoa(gs), g2, gtStore{g2}, batches, prog, engine.FullProcessing)
 		occ := g2.OccupancyReport()
 		t.AddRow(itoa(gs), f2(totalMEPS(ts)), f2(res.WorkMEPS()),
 			itoa(occ.CALLiveBlocks), f2(occ.CALFill()))
@@ -105,7 +105,7 @@ func ExtRHH(opts Options) (Table, error) {
 	run := func(name string, mode core.DeleteMode) error {
 		cfg := gtConfig(func(c *core.Config) { c.DeleteMode = mode })
 		g := core.MustNew(cfg)
-		ts := insertTimed(gtStore{g}, batches)
+		ts := insertTimed(opts, gtStore{g}, batches)
 		h := g.AnalyzeProbes()
 		t.AddRow(name, f2(totalMEPS(ts)), itoa(int(g.Stats().RHHSwaps)),
 			f2(h.MeanProbe()), itoa(h.MaxProbe), f2(h.MeanGeneration()))

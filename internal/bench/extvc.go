@@ -31,7 +31,7 @@ func ExtVC(opts Options) (Table, error) {
 
 		runEC := func(mode engine.Mode) workloadResult {
 			g := core.MustNew(gtConfig())
-			return analyticsWorkload(g, gtStore{g}, batches, prog, mode, opts.Threshold)
+			return analyticsWorkload(opts, "ext-vc/ec-"+mode.String(), g, gtStore{g}, batches, prog, mode)
 		}
 		hyb := runEC(engine.Hybrid)
 		full := runEC(engine.FullProcessing)

@@ -21,9 +21,9 @@ func Fig08(opts Options) (Table, error) {
 		return Table{}, err
 	}
 
-	withCAL := insertTimed(gtStore{core.MustNew(gtConfig())}, batches)
-	noCAL := insertTimed(gtStore{core.MustNew(gtConfig(func(c *core.Config) { c.EnableCAL = false }))}, batches)
-	sting := insertTimed(stStore{stinger.MustNew(stinger.DefaultConfig())}, batches)
+	withCAL := insertTimed(opts, gtStore{core.MustNew(gtConfig())}, batches)
+	noCAL := insertTimed(opts, gtStore{core.MustNew(gtConfig(func(c *core.Config) { c.EnableCAL = false }))}, batches)
+	sting := insertTimed(opts, stStore{stinger.MustNew(stinger.DefaultConfig())}, batches)
 
 	t := Table{
 		ID:      "fig8",

@@ -21,8 +21,8 @@ func Fig09(opts Options) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		gt := insertTimed(gtStore{core.MustNew(gtConfig())}, batches)
-		st := insertTimed(stStore{stinger.MustNew(stinger.DefaultConfig())}, batches)
+		gt := insertTimed(opts, gtStore{core.MustNew(gtConfig())}, batches)
+		st := insertTimed(opts, stStore{stinger.MustNew(stinger.DefaultConfig())}, batches)
 		gtM, stM := totalMEPS(gt), totalMEPS(st)
 		ratio := 0.0
 		if stM > 0 {

@@ -35,8 +35,8 @@ func Fig10(opts Options) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		gt := insertTimed(gtParStore{gtPar}, batches)
-		st := insertTimed(stParStore{stPar}, batches)
+		gt := insertTimed(opts, gtParStore{gtPar}, batches)
+		st := insertTimed(opts, stParStore{stPar}, batches)
 		gtM, stM := totalMEPS(gt), totalMEPS(st)
 		ratio := 0.0
 		if stM > 0 {

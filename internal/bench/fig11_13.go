@@ -38,7 +38,8 @@ func FigAnalytics(opts Options, alg string) (Table, error) {
 		run := func(mode engine.Mode) workloadResult {
 			return bestOf(opts.Repeats, func() workloadResult {
 				g := core.MustNew(gtConfig())
-				return analyticsWorkload(g, gtStore{g}, batches, prog, mode, opts.Threshold)
+				return analyticsWorkload(opts, id+"/"+d.Name+"/gt-"+mode.String(),
+					g, gtStore{g}, batches, prog, mode)
 			})
 		}
 		hyb := run(engine.Hybrid)
@@ -47,7 +48,8 @@ func FigAnalytics(opts Options, alg string) (Table, error) {
 
 		stRes := bestOf(opts.Repeats, func() workloadResult {
 			st := stinger.MustNew(stinger.DefaultConfig())
-			return analyticsWorkload(st, stStore{st}, batches, prog, engine.FullProcessing, opts.Threshold)
+			return analyticsWorkload(opts, id+"/"+d.Name+"/stinger-full",
+				st, stStore{st}, batches, prog, engine.FullProcessing)
 		})
 
 		ratio := 0.0

@@ -73,9 +73,9 @@ func Fig14(opts Options) (Table, error) {
 		st.InsertBatch(toStinger(b))
 	}
 
-	only := deleteTimed(prep(core.DeleteOnly), deletions)
-	compact := deleteTimed(prep(core.DeleteAndCompact), deletions)
-	sting := deleteTimed(stStore{st}, deletions)
+	only := deleteTimed(opts, prep(core.DeleteOnly), deletions)
+	compact := deleteTimed(opts, prep(core.DeleteAndCompact), deletions)
+	sting := deleteTimed(opts, stStore{st}, deletions)
 
 	t := Table{
 		ID:      "fig14",

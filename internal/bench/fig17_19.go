@@ -27,7 +27,7 @@ func Fig17(opts Options) (Table, error) {
 	}
 	for _, pw := range opts.PageWidths {
 		cfg := gtConfig(func(c *core.Config) { c.PageWidth = pw })
-		ts := insertTimed(gtStore{core.MustNew(cfg)}, batches)
+		ts := insertTimed(opts, gtStore{core.MustNew(cfg)}, batches)
 		last := len(ts) - 1
 		t.AddRow(itoa(pw), f2(totalMEPS(ts)), f2(ts[0].MEPS()), f2(ts[last].MEPS()),
 			f1(100*degradation(ts, 0, last))+"%")
@@ -62,7 +62,7 @@ func Fig18(opts Options) (Table, error) {
 	for _, pw := range opts.PageWidths {
 		cfg := gtConfig(func(c *core.Config) { c.PageWidth = pw })
 		g := core.MustNew(cfg)
-		res := analyticsWorkload(g, gtStore{g}, batches, prog, engine.IncrementalProcessing, opts.Threshold)
+		res := analyticsWorkload(opts, "fig18/pw"+itoa(pw), g, gtStore{g}, batches, prog, engine.IncrementalProcessing)
 		t.AddRow(itoa(pw), f2(res.ThroughputMEPS()), itoa(int(res.EdgesLoaded)),
 			f2(g.OccupancyReport().Fill()))
 	}

@@ -8,6 +8,7 @@ import (
 	"graphtinker/internal/core"
 	"graphtinker/internal/datasets"
 	"graphtinker/internal/engine"
+	"graphtinker/internal/metrics"
 	"graphtinker/internal/rmat"
 	"graphtinker/internal/stinger"
 )
@@ -38,6 +39,10 @@ type Options struct {
 	// the best (shortest-time) run — the standard defence against shared-
 	// machine timing noise. 0 or 1 = single run.
 	Repeats int
+	// Collector, when non-nil, samples update-path latency/probe histograms
+	// during the timed drivers and captures every engine workload's
+	// per-iteration trace (the -metrics-out artifact).
+	Collector *Collector
 }
 
 // Ratio is an update:analytics ratio (Fig. 19).
@@ -123,38 +128,44 @@ func toStinger(batch []core.Edge) []stinger.Edge {
 
 // updatable is the mutation surface the update-throughput drivers need;
 // satisfied by adapters over GraphTinker, STINGER and their Parallel
-// wrappers.
+// wrappers. instrument attaches (or, with nil, detaches) an update-path
+// recorder so timed sections can be sampled.
 type updatable interface {
 	InsertBatch([]core.Edge) int
 	DeleteBatch([]core.Edge) int
 	NumEdges() uint64
+	instrument(*metrics.UpdateRecorder)
 }
 
 // gtStore / stStore / gtParStore / stParStore adapt the four structures to
 // the common mutation surface.
 type gtStore struct{ g *core.GraphTinker }
 
-func (s gtStore) InsertBatch(b []core.Edge) int { return s.g.InsertBatch(b) }
-func (s gtStore) DeleteBatch(b []core.Edge) int { return s.g.DeleteBatch(b) }
-func (s gtStore) NumEdges() uint64              { return s.g.NumEdges() }
+func (s gtStore) InsertBatch(b []core.Edge) int        { return s.g.InsertBatch(b) }
+func (s gtStore) DeleteBatch(b []core.Edge) int        { return s.g.DeleteBatch(b) }
+func (s gtStore) NumEdges() uint64                     { return s.g.NumEdges() }
+func (s gtStore) instrument(r *metrics.UpdateRecorder) { s.g.Instrument(r) }
 
 type stStore struct{ s *stinger.Stinger }
 
-func (s stStore) InsertBatch(b []core.Edge) int { return s.s.InsertBatch(toStinger(b)) }
-func (s stStore) DeleteBatch(b []core.Edge) int { return s.s.DeleteBatch(toStinger(b)) }
-func (s stStore) NumEdges() uint64              { return s.s.NumEdges() }
+func (s stStore) InsertBatch(b []core.Edge) int        { return s.s.InsertBatch(toStinger(b)) }
+func (s stStore) DeleteBatch(b []core.Edge) int        { return s.s.DeleteBatch(toStinger(b)) }
+func (s stStore) NumEdges() uint64                     { return s.s.NumEdges() }
+func (s stStore) instrument(r *metrics.UpdateRecorder) { s.s.Instrument(r) }
 
 type gtParStore struct{ p *core.Parallel }
 
-func (s gtParStore) InsertBatch(b []core.Edge) int { return s.p.InsertBatch(b) }
-func (s gtParStore) DeleteBatch(b []core.Edge) int { return s.p.DeleteBatch(b) }
-func (s gtParStore) NumEdges() uint64              { return s.p.NumEdges() }
+func (s gtParStore) InsertBatch(b []core.Edge) int        { return s.p.InsertBatch(b) }
+func (s gtParStore) DeleteBatch(b []core.Edge) int        { return s.p.DeleteBatch(b) }
+func (s gtParStore) NumEdges() uint64                     { return s.p.NumEdges() }
+func (s gtParStore) instrument(r *metrics.UpdateRecorder) { s.p.Instrument(r) }
 
 type stParStore struct{ p *stinger.Parallel }
 
-func (s stParStore) InsertBatch(b []core.Edge) int { return s.p.InsertBatch(toStinger(b)) }
-func (s stParStore) DeleteBatch(b []core.Edge) int { return s.p.DeleteBatch(toStinger(b)) }
-func (s stParStore) NumEdges() uint64              { return s.p.NumEdges() }
+func (s stParStore) InsertBatch(b []core.Edge) int        { return s.p.InsertBatch(toStinger(b)) }
+func (s stParStore) DeleteBatch(b []core.Edge) int        { return s.p.DeleteBatch(toStinger(b)) }
+func (s stParStore) NumEdges() uint64                     { return s.p.NumEdges() }
+func (s stParStore) instrument(r *metrics.UpdateRecorder) { s.p.Instrument(r) }
 
 // BatchTiming is one batch's measured update throughput.
 type BatchTiming struct {
@@ -166,8 +177,13 @@ type BatchTiming struct {
 // MEPS is the batch throughput in million edges per second.
 func (b BatchTiming) MEPS() float64 { return meps(uint64(b.Edges), b.Seconds) }
 
-// insertTimed loads batches into a store, timing each one.
-func insertTimed(store updatable, batches [][]core.Edge) []BatchTiming {
+// insertTimed loads batches into a store, timing each one. When o carries a
+// Collector, the store samples latency/probe histograms for the duration.
+func insertTimed(o Options, store updatable, batches [][]core.Edge) []BatchTiming {
+	if rec := o.Collector.recorder(); rec != nil {
+		store.instrument(rec)
+		defer store.instrument(nil)
+	}
 	out := make([]BatchTiming, 0, len(batches))
 	for i, b := range batches {
 		start := time.Now()
@@ -178,7 +194,11 @@ func insertTimed(store updatable, batches [][]core.Edge) []BatchTiming {
 }
 
 // deleteTimed removes batches from a store, timing each one.
-func deleteTimed(store updatable, batches [][]core.Edge) []BatchTiming {
+func deleteTimed(o Options, store updatable, batches [][]core.Edge) []BatchTiming {
+	if rec := o.Collector.recorder(); rec != nil {
+		store.instrument(rec)
+		defer store.instrument(nil)
+	}
 	out := make([]BatchTiming, 0, len(batches))
 	for i, b := range batches {
 		start := time.Now()
@@ -285,11 +305,17 @@ func (w workloadResult) WorkMEPS() float64 {
 
 // analyticsWorkload runs the Figs. 11-13 two-step loop: insert one batch,
 // then run the algorithm on the current graph state, until the dataset is
-// exhausted. It returns the merged run result plus the work measure.
-func analyticsWorkload(store engine.GraphStore, ins updatable, batches [][]core.Edge,
-	prog engine.Program, mode engine.Mode, threshold float64) workloadResult {
+// exhausted. It returns the merged run result plus the work measure. When o
+// carries a Collector, the insert phases sample update-path histograms and
+// the merged per-iteration trace is recorded under label.
+func analyticsWorkload(o Options, label string, store engine.GraphStore, ins updatable,
+	batches [][]core.Edge, prog engine.Program, mode engine.Mode) workloadResult {
 
-	eng := engine.MustNew(store, prog, engine.Options{Mode: mode, Threshold: threshold})
+	if rec := o.Collector.recorder(); rec != nil {
+		ins.instrument(rec)
+		defer ins.instrument(nil)
+	}
+	eng := engine.MustNew(store, prog, engine.Options{Mode: mode, Threshold: o.Threshold})
 	total := workloadResult{RunResult: engine.RunResult{Algorithm: prog.Name, Mode: mode, Converged: true}}
 	for _, b := range batches {
 		ins.InsertBatch(b)
@@ -297,6 +323,7 @@ func analyticsWorkload(store engine.GraphStore, ins updatable, batches [][]core.
 		total.Merge(res)
 		total.Work += store.NumEdges()
 	}
+	o.Collector.recordRun(label, total.RunResult)
 	return total
 }
 

@@ -209,7 +209,7 @@ func TestShapeHybridLoadsLessThanFull(t *testing.T) {
 	prog, _ := program("bfs", root)
 	run := func(mode engine.Mode) workloadResult {
 		g := core.MustNew(gtConfig())
-		return analyticsWorkload(g, gtStore{g}, batches, prog, mode, 0)
+		return analyticsWorkload(Options{}, "shape/"+mode.String(), g, gtStore{g}, batches, prog, mode)
 	}
 	hyb := run(engine.Hybrid)
 	full := run(engine.FullProcessing)

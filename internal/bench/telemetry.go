@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"encoding/json"
+	"sync"
+
+	"graphtinker/internal/engine"
+	"graphtinker/internal/metrics"
+)
+
+// Collector gathers the observability artifact behind gtbench's
+// -metrics-out flag: update-path latency/probe histograms sampled while the
+// timed drivers run, plus the per-iteration trace of every engine workload.
+// A nil *Collector is a no-op, so the harness helpers call it
+// unconditionally. All methods are safe for concurrent use (fig10 runs
+// sharded stores whose workers share the recorder).
+type Collector struct {
+	rec *metrics.UpdateRecorder
+
+	mu   sync.Mutex
+	runs []RunTrace
+}
+
+// RunTrace is one engine workload's labelled run result, traces included.
+type RunTrace struct {
+	// Label identifies the driver that produced the run, e.g.
+	// "fig11/bfs/hybrid".
+	Label  string           `json:"label"`
+	Result engine.RunResult `json:"result"`
+}
+
+// TelemetrySnapshot is the JSON document -metrics-out writes.
+type TelemetrySnapshot struct {
+	// Updates holds the insert/delete/find latency histograms (nanosecond
+	// buckets) and probe-distance histograms (cells inspected).
+	Updates metrics.RecorderSnapshot `json:"updates"`
+	// EngineRuns lists every analytics workload executed, with its full
+	// per-iteration trace.
+	EngineRuns []RunTrace `json:"engine_runs"`
+}
+
+// NewCollector builds a collector with a live update recorder.
+func NewCollector() *Collector {
+	return &Collector{rec: metrics.NewUpdateRecorder()}
+}
+
+// recorder returns the shared recorder (nil when collection is off).
+func (c *Collector) recorder() *metrics.UpdateRecorder {
+	if c == nil {
+		return nil
+	}
+	return c.rec
+}
+
+// recordRun appends one workload's labelled result.
+func (c *Collector) recordRun(label string, res engine.RunResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.runs = append(c.runs, RunTrace{Label: label, Result: res})
+	c.mu.Unlock()
+}
+
+// Snapshot freezes the collected telemetry.
+func (c *Collector) Snapshot() TelemetrySnapshot {
+	if c == nil {
+		return TelemetrySnapshot{}
+	}
+	c.mu.Lock()
+	runs := make([]RunTrace, len(c.runs))
+	copy(runs, c.runs)
+	c.mu.Unlock()
+	return TelemetrySnapshot{Updates: c.rec.Snapshot(), EngineRuns: runs}
+}
+
+// MarshalJSON renders the snapshot (convenience for the CLIs).
+func (c *Collector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.Snapshot())
+}

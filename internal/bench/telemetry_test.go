@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/engine"
+)
+
+func TestCollectorCapturesUpdatesAndRuns(t *testing.T) {
+	opts := QuickOptions()
+	opts.Collector = NewCollector()
+
+	batches := [][]core.Edge{
+		{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}},
+		{{Src: 2, Dst: 3, Weight: 1}, {Src: 3, Dst: 4, Weight: 1}},
+	}
+	g := core.MustNew(gtConfig())
+	insertTimed(opts, gtStore{g}, batches)
+
+	prog, err := program("bfs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := core.MustNew(gtConfig())
+	analyticsWorkload(opts, "test/bfs", g2, gtStore{g2}, batches, prog, engine.Hybrid)
+
+	snap := opts.Collector.Snapshot()
+	// 4 inserts from insertTimed + 4 from the workload's insert phases.
+	if got := snap.Updates.InsertLatencyNs.Count; got != 8 {
+		t.Fatalf("insert samples = %d, want 8", got)
+	}
+	if len(snap.EngineRuns) != 1 || snap.EngineRuns[0].Label != "test/bfs" {
+		t.Fatalf("engine runs = %+v", snap.EngineRuns)
+	}
+	run := snap.EngineRuns[0].Result
+	if len(run.Iterations) == 0 || len(run.Iterations) != run.FullIterations+run.IncrementalIterations {
+		t.Fatalf("merged workload trace inconsistent: %d iterations, %d+%d",
+			len(run.Iterations), run.FullIterations, run.IncrementalIterations)
+	}
+
+	// Stores are detached after each helper: further updates are unsampled.
+	g.InsertEdge(9, 10, 1)
+	if got := opts.Collector.Snapshot().Updates.InsertLatencyNs.Count; got != 8 {
+		t.Fatalf("detached store still sampling: %d", got)
+	}
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["updates"]; !ok {
+		t.Fatalf("snapshot JSON missing updates: %v", doc)
+	}
+	if _, ok := doc["engine_runs"]; !ok {
+		t.Fatalf("snapshot JSON missing engine_runs: %v", doc)
+	}
+}
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	if c.recorder() != nil {
+		t.Fatalf("nil collector returned a recorder")
+	}
+	c.recordRun("x", engine.RunResult{})
+	snap := c.Snapshot()
+	if snap.EngineRuns != nil || snap.Updates.InsertLatencyNs.Count != 0 {
+		t.Fatalf("nil collector snapshot not empty: %+v", snap)
+	}
+
+	// The harness helpers must run unchanged without a collector.
+	g := core.MustNew(gtConfig())
+	ts := insertTimed(Options{}, gtStore{g}, [][]core.Edge{{{Src: 0, Dst: 1, Weight: 1}}})
+	if len(ts) != 1 || g.NumEdges() != 1 {
+		t.Fatalf("insertTimed without collector broken")
+	}
+}

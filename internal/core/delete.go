@@ -1,15 +1,28 @@
 package core
 
+import "time"
+
 // DeleteEdge removes edge (src, dst) using the configured deletion
 // mechanism (Sec. III.C). It returns false when the edge is not stored.
 func (gt *GraphTinker) DeleteEdge(src, dst uint64) bool {
+	if gt.rec == nil {
+		removed, _ := gt.deleteEdge(src, dst)
+		return removed
+	}
+	start := time.Now()
+	removed, cells := gt.deleteEdge(src, dst)
+	gt.rec.RecordDelete(time.Since(start), cells)
+	return removed
+}
+
+func (gt *GraphTinker) deleteEdge(src, dst uint64) (bool, int) {
 	d, ok := gt.denseLookup(src)
 	if !ok || uint32(len(gt.topBlock)) <= d || gt.topBlock[d] == noBlock {
-		return false
+		return false, 0
 	}
 	fr, found := gt.findCell(d, dst)
 	if !found {
-		return false
+		return false, fr.cells
 	}
 
 	cell := &gt.eba.subblockCells(fr.block, fr.sb)[fr.slot]
@@ -24,7 +37,7 @@ func (gt *GraphTinker) DeleteEdge(src, dst uint64) bool {
 		gt.eba.decOcc(fr.block, fr.sb)
 		if gt.cal != nil && ptr.valid() {
 			gt.cal.invalidate(ptr)
-			gt.stats.CALPatches++
+			gt.stats.calPatches.Add(1)
 		}
 	case DeleteAndCompact:
 		cell.state = cellEmpty
@@ -36,15 +49,15 @@ func (gt *GraphTinker) DeleteEdge(src, dst uint64) bool {
 				// re-point its owning EdgeblockArray cell.
 				gt.eba.cellAt(movedOwner).calPtr = ptr
 			}
-			gt.stats.CALPatches++
+			gt.stats.calPatches.Add(1)
 		}
 		gt.compactHole(fr.block, fr.sb, fr.slot)
 	}
 
 	gt.props.degree[d]--
 	gt.numEdges--
-	gt.stats.Deletes++
-	return true
+	gt.stats.deletes.Add(1)
+	return true, fr.cells
 }
 
 // DeleteBatch removes a batch of edges, returning how many were present.
@@ -87,7 +100,7 @@ func (gt *GraphTinker) compactHole(blk int32, sb, slot int) {
 	vc.state = cellEmpty
 	vc.calPtr = invalidCALPtr
 	gt.eba.decOcc(vblk, vsb)
-	gt.stats.CompactionMoves++
+	gt.stats.compactionMoves.Add(1)
 	// The hole moved down to where the victim was; keep compacting from
 	// there so the shrink proceeds leaf-ward.
 	gt.compactHole(vblk, vsb, vslot)
@@ -144,5 +157,5 @@ func (gt *GraphTinker) freeUpwardsFrom(blk int32) {
 
 func (gt *GraphTinker) releaseBlock(blk int32) {
 	gt.eba.freeBlock(blk)
-	gt.stats.BlocksFreed++
+	gt.stats.blocksFreed.Add(1)
 }

@@ -1,5 +1,11 @@
 package core
 
+import (
+	"time"
+
+	"graphtinker/internal/metrics"
+)
+
 // GraphTinker is one instance of the paper's dynamic-graph data structure.
 // A single instance is not safe for concurrent mutation; the Parallel type
 // shards a graph across several instances by source-vertex hash exactly as
@@ -22,7 +28,11 @@ type GraphTinker struct {
 	maxRawID uint64 // highest raw vertex id observed (src or dst), +1 = id space
 	sawAny   bool
 
-	stats Stats
+	stats statsCounters
+
+	// rec, when non-nil, receives per-operation latency and probe-distance
+	// samples on the update paths (see Instrument).
+	rec *metrics.UpdateRecorder
 }
 
 // New constructs an empty GraphTinker with the given configuration.
@@ -164,11 +174,25 @@ func (gt *GraphTinker) SetVertexValue(src uint64, v float64) bool {
 	return true
 }
 
-// Stats returns a copy of the accumulated operation counters.
-func (gt *GraphTinker) Stats() Stats { return gt.stats }
+// Stats returns a copy of the accumulated operation counters. The counters
+// are atomics, so snapshots taken while another goroutine mutates the
+// instance (e.g. mid-batch on a sibling shard, or concurrent FindEdge
+// readers) are race-clean.
+func (gt *GraphTinker) Stats() Stats { return gt.stats.snapshot() }
 
 // ResetStats clears the operation counters (batch-scoped measurements).
-func (gt *GraphTinker) ResetStats() { gt.stats = Stats{} }
+func (gt *GraphTinker) ResetStats() { gt.stats.reset() }
+
+// Instrument attaches an update-path recorder: every InsertEdge, DeleteEdge
+// and FindEdge afterwards records its wall latency and probe distance
+// (cells inspected) into rec's histograms. A nil rec detaches. The recorder
+// is fully atomic, so one recorder may be shared across the shards of a
+// Parallel wrapper and snapshot mid-batch. Do not attach or detach while
+// operations are in flight.
+func (gt *GraphTinker) Instrument(rec *metrics.UpdateRecorder) { gt.rec = rec }
+
+// Recorder returns the attached update-path recorder (nil when detached).
+func (gt *GraphTinker) Recorder() *metrics.UpdateRecorder { return gt.rec }
 
 // Memory reports the approximate resident footprint by component.
 func (gt *GraphTinker) Memory() MemoryFootprint {
@@ -205,12 +229,15 @@ func (gt *GraphTinker) OccupancyReport() Occupancy {
 // FIND / INSERT (Sec. III.C, "Inserting a new edge")
 // ---------------------------------------------------------------------------
 
-// findResult records where the FIND stage located an edge.
+// findResult records where the FIND stage located an edge, plus the probe
+// work the search cost (cells is the per-operation probe distance the
+// instrumentation layer records).
 type findResult struct {
 	block int32
 	sb    int
 	slot  int
 	gen   int
+	cells int
 }
 
 // findCell runs the FIND mode: starting at the top-parent edgeblock of the
@@ -233,9 +260,9 @@ func (gt *GraphTinker) findCell(d uint32, dst uint64) (findResult, bool) {
 			cells := gt.eba.subblockCells(blk, sb)
 			for i := range cells {
 				if cells[i].state == cellOccupied && cells[i].dst == dst {
-					gt.stats.CellsInspected += uint64(cellsScanned + i + 1)
-					gt.stats.WorkblocksRetrieved += uint64(wbFetches + i/ws + 1)
-					return findResult{block: blk, sb: sb, slot: i, gen: gen}, true
+					gt.stats.cellsInspected.Add(uint64(cellsScanned + i + 1))
+					gt.stats.workblocksRetrieved.Add(uint64(wbFetches + i/ws + 1))
+					return findResult{block: blk, sb: sb, slot: i, gen: gen, cells: cellsScanned + i + 1}, true
 				}
 			}
 			cellsScanned += len(cells)
@@ -244,26 +271,39 @@ func (gt *GraphTinker) findCell(d uint32, dst uint64) (findResult, bool) {
 		blk = gt.eba.childOf(blk, sb)
 		gen++
 	}
-	gt.stats.CellsInspected += uint64(cellsScanned)
-	gt.stats.WorkblocksRetrieved += uint64(wbFetches)
-	return findResult{}, false
+	gt.stats.cellsInspected.Add(uint64(cellsScanned))
+	gt.stats.workblocksRetrieved.Add(uint64(wbFetches))
+	return findResult{cells: cellsScanned}, false
 }
 
-// FindEdge reports the weight of edge (src, dst) if it is stored.
+// FindEdge reports the weight of edge (src, dst) if it is stored. It is
+// safe for concurrent callers (and concurrent iteration-surface readers):
+// the search mutates nothing but atomic counters.
 func (gt *GraphTinker) FindEdge(src, dst uint64) (float32, bool) {
-	gt.stats.Finds++
+	if gt.rec == nil {
+		w, _, ok := gt.findEdge(src, dst)
+		return w, ok
+	}
+	start := time.Now()
+	w, cells, ok := gt.findEdge(src, dst)
+	gt.rec.RecordFind(time.Since(start), cells)
+	return w, ok
+}
+
+func (gt *GraphTinker) findEdge(src, dst uint64) (float32, int, bool) {
+	gt.stats.finds.Add(1)
 	d, ok := gt.denseLookup(src)
 	if !ok {
-		return 0, false
+		return 0, 0, false
 	}
 	if gt.topBlock[d] == noBlock {
-		return 0, false
+		return 0, 0, false
 	}
 	fr, found := gt.findCell(d, dst)
 	if !found {
-		return 0, false
+		return 0, fr.cells, false
 	}
-	return gt.eba.subblockCells(fr.block, fr.sb)[fr.slot].weight, true
+	return gt.eba.subblockCells(fr.block, fr.sb)[fr.slot].weight, fr.cells, true
 }
 
 // writeCell stores c at (blk, sb, slot), keeping occupancy and the CAL
@@ -277,7 +317,7 @@ func (gt *GraphTinker) writeCell(blk int32, sb, slot int, c edgeCell) {
 	}
 	if gt.cal != nil && c.calPtr.valid() {
 		gt.cal.setOwner(c.calPtr, gt.eba.addrOf(blk, sb, slot))
-		gt.stats.CALPatches++
+		gt.stats.calPatches.Add(1)
 	}
 }
 
@@ -296,23 +336,24 @@ const (
 // swapping with any resident whose probe distance is smaller ("richer"),
 // and the displaced resident carries on probing. When the subblock has no
 // free cell the (possibly different) floating edge is returned to be pushed
-// down to the child edgeblock by Tree-Based Hashing.
-func (gt *GraphTinker) placeInSubblock(blk int32, sb int, float edgeCell) (placeOutcome, edgeCell) {
+// down to the child edgeblock by Tree-Based Hashing. The int return is the
+// number of cells the pass inspected (the probe-distance contribution).
+func (gt *GraphTinker) placeInSubblock(blk int32, sb int, float edgeCell) (placeOutcome, edgeCell, int) {
 	s := gt.geo.subblockSize
 
 	// A completely full subblock cannot host the edge no matter how RHH
 	// shuffles it; descend straight away (the per-subblock occupancy count
 	// answers this without a scan).
 	if int(gt.eba.subOccOf(blk, sb)) == s {
-		gt.stats.WorkblocksRetrieved++ // the congestion check costs one fetch
-		return congested, float
+		gt.stats.workblocksRetrieved.Add(1) // the congestion check costs one fetch
+		return congested, float, 0
 	}
 	cells := gt.eba.subblockCells(blk, sb)
 
 	// The subblock is retrieved one workblock at a time; account for the
 	// fetches an insertion pass costs. A full pass touches every workblock.
-	gt.stats.WorkblocksRetrieved += uint64(gt.geo.workblocksPerSub)
-	gt.stats.CellsInspected += uint64(s)
+	gt.stats.workblocksRetrieved.Add(uint64(gt.geo.workblocksPerSub))
+	gt.stats.cellsInspected.Add(uint64(s))
 
 	if !gt.rhhEnabled() {
 		// Compact mode: first-fit placement, probe recorded as scan length.
@@ -323,10 +364,10 @@ func (gt *GraphTinker) placeInSubblock(blk int32, sb int, float edgeCell) (place
 					dst: float.dst, weight: float.weight,
 					calPtr: float.calPtr, probe: float.probe, state: cellOccupied,
 				})
-				return placedHere, edgeCell{}
+				return placedHere, edgeCell{}, s
 			}
 		}
-		return congested, float // unreachable: the occupancy check passed
+		return congested, float, s // unreachable: the occupancy check passed
 	}
 
 	cur := float
@@ -338,7 +379,7 @@ func (gt *GraphTinker) placeInSubblock(blk int32, sb int, float edgeCell) (place
 		if c.state != cellOccupied {
 			cur.state = cellOccupied
 			gt.writeCell(blk, sb, slot, cur)
-			return placedHere, edgeCell{}
+			return placedHere, edgeCell{}, s
 		}
 		if c.probe < cur.probe {
 			// The floating edge is poorer; it takes the bucket and the
@@ -346,20 +387,31 @@ func (gt *GraphTinker) placeInSubblock(blk int32, sb int, float edgeCell) (place
 			cur.state = cellOccupied
 			gt.writeCell(blk, sb, slot, cur)
 			cur = c
-			gt.stats.RHHSwaps++
+			gt.stats.rhhSwaps.Add(1)
 		}
 		slot = (slot + 1) & mask
 		cur.probe++
 	}
 	// A free cell existed but the displacement chain wrapped the whole
 	// subblock without settling; push the current floating edge down.
-	return congested, cur
+	return congested, cur, s
 }
 
 // InsertEdge inserts (src, dst, w), returning true when the edge is new and
 // false when an existing edge had its weight updated. Self-loops are
 // allowed; parallel edges are not (an edge is identified by its endpoints).
 func (gt *GraphTinker) InsertEdge(src, dst uint64, w float32) bool {
+	if gt.rec == nil {
+		isNew, _ := gt.insertEdge(src, dst, w)
+		return isNew
+	}
+	start := time.Now()
+	isNew, cells := gt.insertEdge(src, dst, w)
+	gt.rec.RecordInsert(time.Since(start), cells)
+	return isNew
+}
+
+func (gt *GraphTinker) insertEdge(src, dst uint64, w float32) (bool, int) {
 	gt.observe(src)
 	gt.observe(dst)
 
@@ -368,19 +420,21 @@ func (gt *GraphTinker) InsertEdge(src, dst uint64, w float32) bool {
 
 	if gt.topBlock[d] == noBlock {
 		gt.topBlock[d] = gt.eba.allocBlock(noBlock, 0)
-		gt.stats.BlocksAllocated++
+		gt.stats.blocksAllocated.Add(1)
 	}
 
 	// FIND mode: update in place when the edge already exists.
-	if fr, found := gt.findCell(d, dst); found {
+	fr, found := gt.findCell(d, dst)
+	probe := fr.cells
+	if found {
 		cell := &gt.eba.subblockCells(fr.block, fr.sb)[fr.slot]
 		cell.weight = w
 		if gt.cal != nil && cell.calPtr.valid() {
 			gt.cal.patchWeight(cell.calPtr, w)
-			gt.stats.CALPatches++
+			gt.stats.calPatches.Add(1)
 		}
-		gt.stats.Updates++
-		return false
+		gt.stats.updates.Add(1)
+		return false, probe
 	}
 
 	// INSERT mode: mirror into the CAL first so the floating cell carries
@@ -389,14 +443,15 @@ func (gt *GraphTinker) InsertEdge(src, dst uint64, w float32) bool {
 	float := edgeCell{dst: dst, weight: w, calPtr: invalidCALPtr, state: cellOccupied}
 	if gt.cal != nil {
 		float.calPtr = gt.cal.append(d, src, dst, w, invalidCellAddr)
-		gt.stats.CALAppends++
+		gt.stats.calAppends.Add(1)
 	}
 
 	blk := gt.topBlock[d]
 	gen := 0
 	for {
 		sb := gt.subblockFor(float.dst, gen)
-		outcome, evicted := gt.placeInSubblock(blk, sb, float)
+		outcome, evicted, scanned := gt.placeInSubblock(blk, sb, float)
+		probe += scanned
 		if outcome == placedHere {
 			break
 		}
@@ -405,20 +460,18 @@ func (gt *GraphTinker) InsertEdge(src, dst uint64, w float32) bool {
 		if child == noBlock {
 			child = gt.eba.allocBlock(blk, sb)
 			gt.eba.setChild(blk, sb, child)
-			gt.stats.Branches++
-			gt.stats.BlocksAllocated++
+			gt.stats.branches.Add(1)
+			gt.stats.blocksAllocated.Add(1)
 		}
 		blk = child
 		gen++
-		if gen > gt.stats.MaxGeneration {
-			gt.stats.MaxGeneration = gen
-		}
+		gt.stats.observeGeneration(gen)
 	}
 
 	gt.props.degree[d]++
 	gt.numEdges++
-	gt.stats.Inserts++
-	return true
+	gt.stats.inserts.Add(1)
+	return true, probe
 }
 
 // InsertBatch inserts a batch of edges, returning how many were new.

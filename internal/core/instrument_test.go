@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"graphtinker/internal/metrics"
+)
+
+// TestInstrumentedUpdatePaths checks that an attached recorder sees every
+// insert/find/delete with plausible probe distances.
+func TestInstrumentedUpdatePaths(t *testing.T) {
+	gt := MustNew(DefaultConfig())
+	rec := metrics.NewUpdateRecorder()
+	gt.Instrument(rec)
+	if gt.Recorder() != rec {
+		t.Fatalf("Recorder() did not return the attached recorder")
+	}
+
+	r := &testRand{s: 5}
+	const n = 5000
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{uint64(r.intn(100)), uint64(r.intn(400)), 1})
+	}
+	inserted := gt.InsertBatch(edges)
+	for _, e := range edges[:500] {
+		gt.FindEdge(e.Src, e.Dst)
+	}
+	removed := gt.DeleteBatch(edges[:500])
+
+	s := rec.Snapshot()
+	if s.InsertLatencyNs.Count != n || s.InsertProbe.Count != n {
+		t.Fatalf("insert samples = %d/%d, want %d", s.InsertLatencyNs.Count, s.InsertProbe.Count, n)
+	}
+	if s.FindLatencyNs.Count != 500 {
+		t.Fatalf("find samples = %d, want 500", s.FindLatencyNs.Count)
+	}
+	if s.DeleteLatencyNs.Count != 500 {
+		t.Fatalf("delete samples = %d, want 500", s.DeleteLatencyNs.Count)
+	}
+	if s.InsertProbe.Sum == 0 {
+		t.Fatalf("insert probes recorded no cell inspections")
+	}
+	if removed == 0 || inserted == 0 {
+		t.Fatalf("workload degenerate: %d inserted, %d removed", inserted, removed)
+	}
+
+	// Detach: no further samples.
+	gt.Instrument(nil)
+	gt.InsertEdge(9999, 9998, 1)
+	if got := rec.Snapshot().InsertLatencyNs.Count; got != n {
+		t.Fatalf("detached recorder still sampling: %d", got)
+	}
+}
+
+// TestParallelSharedRecorder attaches one recorder across all shards and
+// hammers it with concurrent batch updates plus mid-batch snapshot reads.
+func TestParallelSharedRecorder(t *testing.T) {
+	p, err := NewParallel(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewUpdateRecorder()
+	p.Instrument(rec)
+
+	r := &testRand{s: 99}
+	var batch []Edge
+	for i := 0; i < 30000; i++ {
+		batch = append(batch, Edge{uint64(r.intn(700)), uint64(r.intn(700)), 1})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = rec.Snapshot()
+			}
+		}
+	}()
+	p.InsertBatch(batch)
+	close(stop)
+	wg.Wait()
+
+	if got := rec.Snapshot().InsertLatencyNs.Count; got != uint64(len(batch)) {
+		t.Fatalf("shared recorder saw %d inserts, want %d", got, len(batch))
+	}
+}

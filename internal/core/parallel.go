@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+
+	"graphtinker/internal/metrics"
 )
 
 // Parallel shards a dynamic graph across several independent GraphTinker
@@ -184,13 +186,37 @@ func (p *Parallel) ForEachShardEdge(shard int, fn func(src, dst uint64, w float3
 	p.shards[shard].ForEachEdge(fn)
 }
 
-// Stats merges the counters of every shard.
+// Stats merges the counters of every shard. The per-shard counters are
+// atomics, so merging is race-clean even while a concurrent batch update is
+// in flight (the snapshot may straddle in-flight operations, but every
+// field is individually consistent).
 func (p *Parallel) Stats() Stats {
 	var total Stats
 	for _, s := range p.shards {
 		total.Add(s.Stats())
 	}
 	return total
+}
+
+// ShardStats snapshots each shard's counters individually — the per-shard
+// telemetry surface. Like Stats it is safe to call mid-batch.
+func (p *Parallel) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Instrument attaches one shared update-path recorder to every shard, so a
+// single set of latency/probe histograms covers the whole sharded store.
+// The recorder's instruments are atomic, making concurrent per-shard batch
+// goroutines and mid-batch snapshot readers race-clean. A nil rec
+// detaches. Do not attach or detach while a batch is in flight.
+func (p *Parallel) Instrument(rec *metrics.UpdateRecorder) {
+	for _, s := range p.shards {
+		s.Instrument(rec)
+	}
 }
 
 // ResetStats clears the counters of every shard.

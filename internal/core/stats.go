@@ -1,32 +1,34 @@
 package core
 
+import "sync/atomic"
+
 // Stats aggregates the operation counters GraphTinker maintains. They feed
 // the probe-distance / DRAM-traffic analyses in the evaluation (workblock
 // retrievals model DRAM accesses at workblock granularity; cell inspections
 // model the probe distance when following edges).
 type Stats struct {
 	// Operation counts.
-	Inserts uint64 // new edges placed
-	Updates uint64 // duplicate inserts that patched an existing edge
-	Deletes uint64 // edges removed
-	Finds   uint64 // FindEdge calls
+	Inserts uint64 `json:"inserts"` // new edges placed
+	Updates uint64 `json:"updates"` // duplicate inserts that patched an existing edge
+	Deletes uint64 `json:"deletes"` // edges removed
+	Finds   uint64 `json:"finds"`   // FindEdge calls
 
 	// Probe behaviour (update paths: FIND / INSERT / DELETE; the read-only
 	// iteration surface mutates nothing so concurrent readers stay safe).
-	CellsInspected      uint64 // edge cells touched while following edges
-	WorkblocksRetrieved uint64 // workblock fetches (the DRAM-traffic proxy)
-	RHHSwaps            uint64 // Robin Hood displacements
-	Branches            uint64 // subblock branch-outs (child edgeblocks created)
-	MaxGeneration       int    // deepest descent observed
+	CellsInspected      uint64 `json:"cells_inspected"`      // edge cells touched while following edges
+	WorkblocksRetrieved uint64 `json:"workblocks_retrieved"` // workblock fetches (the DRAM-traffic proxy)
+	RHHSwaps            uint64 `json:"rhh_swaps"`            // Robin Hood displacements
+	Branches            uint64 `json:"branches"`             // subblock branch-outs (child edgeblocks created)
+	MaxGeneration       int    `json:"max_generation"`       // deepest descent observed
 
 	// Structure lifecycle.
-	BlocksAllocated uint64
-	BlocksFreed     uint64
-	CompactionMoves uint64 // cells pulled up by delete-and-compact
+	BlocksAllocated uint64 `json:"blocks_allocated"`
+	BlocksFreed     uint64 `json:"blocks_freed"`
+	CompactionMoves uint64 `json:"compaction_moves"` // cells pulled up by delete-and-compact
 
 	// CAL mirror.
-	CALAppends uint64
-	CALPatches uint64 // weight patches + owner re-points + invalidations
+	CALAppends uint64 `json:"cal_appends"`
+	CALPatches uint64 `json:"cal_patches"` // weight patches + owner re-points + invalidations
 }
 
 // Add accumulates other into s (used by the sharded Parallel wrapper).
@@ -47,6 +49,72 @@ func (s *Stats) Add(other Stats) {
 	s.CompactionMoves += other.CompactionMoves
 	s.CALAppends += other.CALAppends
 	s.CALPatches += other.CALPatches
+}
+
+// statsCounters is the atomic backing store for Stats. Mutation paths run
+// single-threaded per instance (the Parallel wrapper gives each shard its
+// own goroutine), but the counters are atomics so that (a) FindEdge — a
+// logically read-only operation that still counts probe work — is safe to
+// call from concurrent readers, and (b) Stats snapshots taken mid-batch by
+// observer goroutines stay clean under the race detector.
+type statsCounters struct {
+	inserts, updates, deletes, finds        atomic.Uint64
+	cellsInspected, workblocksRetrieved     atomic.Uint64
+	rhhSwaps, branches                      atomic.Uint64
+	maxGeneration                           atomic.Int64
+	blocksAllocated, blocksFreed            atomic.Uint64
+	compactionMoves, calAppends, calPatches atomic.Uint64
+}
+
+// observeGeneration raises maxGeneration to gen if it is deeper than any
+// descent seen so far (atomic max).
+func (s *statsCounters) observeGeneration(gen int) {
+	for {
+		cur := s.maxGeneration.Load()
+		if int64(gen) <= cur || s.maxGeneration.CompareAndSwap(cur, int64(gen)) {
+			return
+		}
+	}
+}
+
+// snapshot assembles a plain Stats from the atomic counters. Individual
+// fields are each atomically consistent; a snapshot taken mid-operation may
+// straddle an operation's increments.
+func (s *statsCounters) snapshot() Stats {
+	return Stats{
+		Inserts:             s.inserts.Load(),
+		Updates:             s.updates.Load(),
+		Deletes:             s.deletes.Load(),
+		Finds:               s.finds.Load(),
+		CellsInspected:      s.cellsInspected.Load(),
+		WorkblocksRetrieved: s.workblocksRetrieved.Load(),
+		RHHSwaps:            s.rhhSwaps.Load(),
+		Branches:            s.branches.Load(),
+		MaxGeneration:       int(s.maxGeneration.Load()),
+		BlocksAllocated:     s.blocksAllocated.Load(),
+		BlocksFreed:         s.blocksFreed.Load(),
+		CompactionMoves:     s.compactionMoves.Load(),
+		CALAppends:          s.calAppends.Load(),
+		CALPatches:          s.calPatches.Load(),
+	}
+}
+
+// reset zeroes every counter.
+func (s *statsCounters) reset() {
+	s.inserts.Store(0)
+	s.updates.Store(0)
+	s.deletes.Store(0)
+	s.finds.Store(0)
+	s.cellsInspected.Store(0)
+	s.workblocksRetrieved.Store(0)
+	s.rhhSwaps.Store(0)
+	s.branches.Store(0)
+	s.maxGeneration.Store(0)
+	s.blocksAllocated.Store(0)
+	s.blocksFreed.Store(0)
+	s.compactionMoves.Store(0)
+	s.calAppends.Store(0)
+	s.calPatches.Store(0)
 }
 
 // MemoryFootprint is a coarse accounting of resident bytes per component.

@@ -47,12 +47,28 @@ const DefaultThreshold = 0.02
 type Options struct {
 	// Mode is the execution model.
 	Mode Mode
-	// Threshold overrides the inference-box threshold (0 means
-	// DefaultThreshold).
+	// Threshold overrides the inference-box threshold. Zero is an explicit
+	// sentinel selecting DefaultThreshold (an actual threshold of 0 would
+	// make hybrid mode identical to full processing: T = A/E > 0 whenever
+	// any vertex is active, so no zero behaviour is lost). Negative values
+	// are rejected.
 	Threshold float64
 	// MaxIterations guards against non-converging programs; 0 derives a
 	// bound from the vertex count.
 	MaxIterations int
+}
+
+// resolveThreshold applies the documented Threshold rule shared by every
+// engine constructor: 0 is the sentinel for DefaultThreshold, positives are
+// taken verbatim, negatives are an error.
+func resolveThreshold(th float64) (float64, error) {
+	if th < 0 {
+		return 0, fmt.Errorf("engine: threshold %g is negative; use 0 for the default (%g) or any positive value", th, DefaultThreshold)
+	}
+	if th == 0 {
+		return DefaultThreshold, nil
+	}
+	return th, nil
 }
 
 // Engine runs one Program over one GraphStore, keeping vertex properties
@@ -80,11 +96,9 @@ func New(store GraphStore, prog Program, opts Options) (*Engine, error) {
 	if err := validateProgram(prog); err != nil {
 		return nil, err
 	}
-	if opts.Threshold == 0 {
-		opts.Threshold = DefaultThreshold
-	}
-	if opts.Threshold < 0 {
-		return nil, fmt.Errorf("engine: threshold %g must be positive", opts.Threshold)
+	var err error
+	if opts.Threshold, err = resolveThreshold(opts.Threshold); err != nil {
+		return nil, err
 	}
 	switch opts.Mode {
 	case FullProcessing, IncrementalProcessing, Hybrid:
@@ -233,7 +247,10 @@ func (e *Engine) iterate() RunResult {
 		} else {
 			e.processIncremental(&it)
 		}
+		processDone := time.Now()
+		it.ProcessDuration = processDone.Sub(start)
 		e.applyPhase(&it)
+		it.ApplyDuration = time.Since(processDone)
 		it.Duration = time.Since(start)
 		res.accumulate(it)
 

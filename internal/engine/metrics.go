@@ -6,47 +6,60 @@ import (
 	"time"
 )
 
-// IterationStats records one processing+apply iteration.
+// IterationStats records one processing+apply iteration. The JSON tags
+// define the per-iteration trace schema of the -metrics-out snapshot;
+// durations marshal as integer nanoseconds.
 type IterationStats struct {
 	// Index within the run, starting at 0.
-	Index int
+	Index int `json:"index"`
 	// UsedFull is true when the iteration loaded edges by streaming the
 	// whole graph (FP path) rather than walking active vertices (IP path).
-	UsedFull bool
+	UsedFull bool `json:"used_full"`
 	// Active is the number of active vertices entering the iteration.
-	Active uint64
+	Active uint64 `json:"active"`
 	// ActiveDegreeSum is the total out-degree of the active vertices (the
 	// additional heuristic input Sec. IV.B says the inference box collects).
-	ActiveDegreeSum uint64
+	ActiveDegreeSum uint64 `json:"active_degree_sum"`
 	// PredictorT is the inference-box value T = A/E computed for this
 	// iteration (meaningful in hybrid mode; recorded in all modes).
-	PredictorT float64
+	PredictorT float64 `json:"predictor_t"`
 	// EdgesLoaded counts edges retrieved from the store; EdgesProcessed
 	// counts those whose source was active (in IP mode they are equal).
-	EdgesLoaded    uint64
-	EdgesProcessed uint64
+	EdgesLoaded    uint64 `json:"edges_loaded"`
+	EdgesProcessed uint64 `json:"edges_processed"`
 	// TouchedVertices is how many destinations received messages.
-	TouchedVertices uint64
-	// Duration is the wall time of the iteration.
-	Duration time.Duration
+	TouchedVertices uint64 `json:"touched_vertices"`
+	// Duration is the wall time of the iteration; the per-phase durations
+	// below partition it. MergeDuration is zero on the sequential engine
+	// (only the parallel engine has a worker-buffer merge phase).
+	Duration        time.Duration `json:"duration_ns"`
+	ProcessDuration time.Duration `json:"process_ns"`
+	MergeDuration   time.Duration `json:"merge_ns"`
+	ApplyDuration   time.Duration `json:"apply_ns"`
 }
 
 // RunResult aggregates one engine run (one batch's worth of processing).
 type RunResult struct {
-	Algorithm  string
-	Mode       Mode
-	Iterations []IterationStats
+	Algorithm  string           `json:"algorithm"`
+	Mode       Mode             `json:"mode"`
+	Iterations []IterationStats `json:"iterations"`
 	// Totals across iterations.
-	EdgesLoaded    uint64
-	EdgesProcessed uint64
-	ActiveTotal    uint64
-	Duration       time.Duration
+	EdgesLoaded    uint64        `json:"edges_loaded"`
+	EdgesProcessed uint64        `json:"edges_processed"`
+	ActiveTotal    uint64        `json:"active_total"`
+	Duration       time.Duration `json:"duration_ns"`
 	// Converged is false only when the iteration guard tripped.
-	Converged bool
+	Converged bool `json:"converged"`
 	// FullIterations / IncrementalIterations count the per-iteration path
 	// choices (in hybrid mode both can be non-zero).
-	FullIterations        int
-	IncrementalIterations int
+	FullIterations        int `json:"full_iterations"`
+	IncrementalIterations int `json:"incremental_iterations"`
+}
+
+// MarshalJSON renders a Mode by its String name so snapshots read
+// "hybrid" rather than 2.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
 }
 
 // ThroughputMEPS is the run's edges-loaded throughput in million edges per
@@ -95,8 +108,10 @@ func (r RunResult) FormatTrace() string {
 }
 
 // Merge sums another run into r (used to aggregate a whole workload of
-// batch-runs into one figure row).
+// batch-runs into one figure row). Per-iteration traces are concatenated so
+// len(r.Iterations) always equals FullIterations+IncrementalIterations.
 func (r *RunResult) Merge(other RunResult) {
+	r.Iterations = append(r.Iterations, other.Iterations...)
 	r.EdgesLoaded += other.EdgesLoaded
 	r.EdgesProcessed += other.EdgesProcessed
 	r.ActiveTotal += other.ActiveTotal

@@ -54,6 +54,11 @@ type workerState struct {
 	touched   []uint64
 	loaded    uint64
 	processed uint64
+	// degreeSum is this worker's share of the iteration's active-vertex
+	// out-degree total (the inference-box input the sequential engine
+	// computes inline; here each worker sums its slice of the active list
+	// during the process phase).
+	degreeSum uint64
 }
 
 // NewParallelEngine validates the program and builds the engine. ApplyVertex
@@ -66,11 +71,9 @@ func NewParallelEngine(store ShardedStore, prog Program, opts Options) (*Paralle
 	if prog.ApplyVertex != nil && prog.Apply == nil {
 		return nil, fmt.Errorf("engine: parallel engine requires a plain Apply hook")
 	}
-	if opts.Threshold == 0 {
-		opts.Threshold = DefaultThreshold
-	}
-	if opts.Threshold < 0 {
-		return nil, fmt.Errorf("engine: threshold %g must be positive", opts.Threshold)
+	var err error
+	if opts.Threshold, err = resolveThreshold(opts.Threshold); err != nil {
+		return nil, err
 	}
 	switch opts.Mode {
 	case FullProcessing, IncrementalProcessing, Hybrid:
@@ -195,8 +198,13 @@ func (e *ParallelEngine) iterate() RunResult {
 		} else {
 			e.processIncrementalParallel(&it)
 		}
+		processDone := time.Now()
+		it.ProcessDuration = processDone.Sub(start)
 		e.mergeWorkers()
+		mergeDone := time.Now()
+		it.MergeDuration = mergeDone.Sub(processDone)
 		e.applyPhase(&it)
+		it.ApplyDuration = time.Since(mergeDone)
 		it.Duration = time.Since(start)
 		res.accumulate(it)
 
@@ -221,10 +229,16 @@ func (ws *workerState) accumulate(prog *Program, dst uint64, msg float64) {
 }
 
 // processFullParallel streams every shard concurrently. Tiny graphs run
-// inline.
+// inline. The active-degree sum (which full streaming does not produce as
+// a side effect) is computed here too, each worker covering a slice of the
+// active list.
 func (e *ParallelEngine) processFullParallel(it *IterationStats) {
+	active := e.cur.list
 	if e.store.NumEdges() < uint64(len(e.workers))*smallIterationCutoff || len(e.workers) == 1 {
 		ws := &e.workers[0]
+		for _, u := range active {
+			ws.degreeSum += uint64(e.store.OutDegree(u))
+		}
 		e.store.ForEachEdge(func(src, dst uint64, weight float32) bool {
 			ws.loaded++
 			if !e.cur.contains(src) {
@@ -236,12 +250,16 @@ func (e *ParallelEngine) processFullParallel(it *IterationStats) {
 		})
 		return
 	}
+	p := len(e.workers)
 	var wg sync.WaitGroup
 	for w := range e.workers {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			ws := &e.workers[w]
+			for _, u := range active[len(active)*w/p : len(active)*(w+1)/p] {
+				ws.degreeSum += uint64(e.store.OutDegree(u))
+			}
 			e.store.ForEachShardEdge(w, func(src, dst uint64, weight float32) bool {
 				ws.loaded++
 				if !e.cur.contains(src) {
@@ -269,6 +287,7 @@ func (e *ParallelEngine) processIncrementalParallel(it *IterationStats) {
 	if len(active) < p*smallIterationCutoff/8 || p == 1 {
 		ws := &e.workers[0]
 		for _, u := range active {
+			ws.degreeSum += uint64(e.store.OutDegree(u))
 			srcVal := e.scatterInput(u)
 			e.store.ForEachOutEdge(u, func(dst uint64, weight float32) bool {
 				ws.loaded++
@@ -291,6 +310,7 @@ func (e *ParallelEngine) processIncrementalParallel(it *IterationStats) {
 			defer wg.Done()
 			ws := &e.workers[w]
 			for _, u := range active[lo:hi] {
+				ws.degreeSum += uint64(e.store.OutDegree(u))
 				srcVal := e.scatterInput(u)
 				e.store.ForEachOutEdge(u, func(dst uint64, weight float32) bool {
 					ws.loaded++
@@ -336,8 +356,10 @@ func (e *ParallelEngine) applyPhase(it *IterationStats) {
 	for w := range e.workers {
 		it.EdgesLoaded += e.workers[w].loaded
 		it.EdgesProcessed += e.workers[w].processed
+		it.ActiveDegreeSum += e.workers[w].degreeSum
 		e.workers[w].loaded = 0
 		e.workers[w].processed = 0
+		e.workers[w].degreeSum = 0
 	}
 	it.TouchedVertices = uint64(len(e.touched))
 	for _, v := range e.touched {

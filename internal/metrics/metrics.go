@@ -1,0 +1,269 @@
+// Package metrics is a small, stdlib-only observability layer: atomic
+// counters, gauges, and fixed-bucket histograms, plus an UpdateRecorder
+// bundling the update-path instruments the GraphTinker and STINGER stores
+// share. Every instrument is safe for concurrent writers and concurrent
+// snapshot readers — the property the sharded core.Parallel wrapper needs
+// so telemetry can be read mid-batch under the race detector.
+//
+// Snapshots are plain structs with JSON tags; marshalling one is the
+// machine-readable telemetry artifact cmd/gtbench and cmd/gtload emit
+// behind their -metrics-out flags.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. A sample v lands in the first
+// bucket whose upper bound satisfies v <= bound; samples above the last
+// bound land in an implicit overflow bucket. All updates are atomic, so
+// any number of goroutines may Observe while others Snapshot.
+type Histogram struct {
+	bounds  []uint64 // strictly increasing inclusive upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // MaxUint64 until the first observation
+	max     atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given inclusive upper bounds
+// (which must be strictly increasing); one overflow bucket is appended.
+func NewHistogram(bounds []uint64) *Histogram {
+	h := &Histogram{
+		bounds:  append([]uint64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxUint64)
+	return h
+}
+
+// LatencyBounds are the default nanosecond bounds: powers of two from 16ns
+// to ~17s, sized for single-edge update ops through whole-batch timings.
+func LatencyBounds() []uint64 {
+	out := make([]uint64, 0, 31)
+	for b := uint64(16); b <= 16<<30; b <<= 1 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// ProbeBounds are the default probe-distance bounds (cells inspected per
+// operation): a 1-2-3 / powers-of-two ladder up to 1024 cells.
+func ProbeBounds() []uint64 {
+	return []uint64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds (negative clamps to 0).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Bucket is one non-empty histogram bucket in a snapshot. An UpperBound of
+// math.MaxUint64 marks the overflow bucket.
+type Bucket struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Because
+// observations are not globally ordered against the snapshot, Count/Sum
+// and the bucket totals may disagree by in-flight samples; each field is
+// individually consistent.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state, omitting empty buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if min := h.min.Load(); min != math.MaxUint64 {
+		s.Min = min
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		ub := uint64(math.MaxUint64)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: c})
+	}
+	return s
+}
+
+// Mean returns the average sample, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket holding that rank; the overflow bucket reports the observed max.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			if b.UpperBound == math.MaxUint64 {
+				return s.Max
+			}
+			return b.UpperBound
+		}
+	}
+	return s.Max
+}
+
+// UpdateRecorder bundles the update-path instruments of one graph store
+// (or one shared recorder across every shard of a Parallel wrapper):
+// per-operation latency and probe-distance (cells inspected) histograms
+// for the three update paths. All methods are safe for concurrent use; a
+// nil recorder ignores every record call, so stores can thread one
+// unconditionally.
+type UpdateRecorder struct {
+	InsertLatency *Histogram
+	DeleteLatency *Histogram
+	FindLatency   *Histogram
+	InsertProbe   *Histogram
+	DeleteProbe   *Histogram
+	FindProbe     *Histogram
+}
+
+// NewUpdateRecorder builds a recorder with the default bounds.
+func NewUpdateRecorder() *UpdateRecorder {
+	lat, probe := LatencyBounds(), ProbeBounds()
+	return &UpdateRecorder{
+		InsertLatency: NewHistogram(lat),
+		DeleteLatency: NewHistogram(lat),
+		FindLatency:   NewHistogram(lat),
+		InsertProbe:   NewHistogram(probe),
+		DeleteProbe:   NewHistogram(probe),
+		FindProbe:     NewHistogram(probe),
+	}
+}
+
+// RecordInsert logs one insert (or duplicate-update) operation.
+func (r *UpdateRecorder) RecordInsert(d time.Duration, cellsInspected int) {
+	if r == nil {
+		return
+	}
+	r.InsertLatency.ObserveDuration(d)
+	r.InsertProbe.Observe(uint64(cellsInspected))
+}
+
+// RecordDelete logs one delete operation.
+func (r *UpdateRecorder) RecordDelete(d time.Duration, cellsInspected int) {
+	if r == nil {
+		return
+	}
+	r.DeleteLatency.ObserveDuration(d)
+	r.DeleteProbe.Observe(uint64(cellsInspected))
+}
+
+// RecordFind logs one find operation.
+func (r *UpdateRecorder) RecordFind(d time.Duration, cellsInspected int) {
+	if r == nil {
+		return
+	}
+	r.FindLatency.ObserveDuration(d)
+	r.FindProbe.Observe(uint64(cellsInspected))
+}
+
+// RecorderSnapshot is the JSON form of an UpdateRecorder. Latencies are in
+// nanoseconds; probes in cells inspected per operation.
+type RecorderSnapshot struct {
+	InsertLatencyNs HistogramSnapshot `json:"insert_latency_ns"`
+	DeleteLatencyNs HistogramSnapshot `json:"delete_latency_ns"`
+	FindLatencyNs   HistogramSnapshot `json:"find_latency_ns"`
+	InsertProbe     HistogramSnapshot `json:"insert_probe_cells"`
+	DeleteProbe     HistogramSnapshot `json:"delete_probe_cells"`
+	FindProbe       HistogramSnapshot `json:"find_probe_cells"`
+}
+
+// Snapshot copies the recorder's state; a nil recorder yields a zero
+// snapshot.
+func (r *UpdateRecorder) Snapshot() RecorderSnapshot {
+	if r == nil {
+		return RecorderSnapshot{}
+	}
+	return RecorderSnapshot{
+		InsertLatencyNs: r.InsertLatency.Snapshot(),
+		DeleteLatencyNs: r.DeleteLatency.Snapshot(),
+		FindLatencyNs:   r.FindLatency.Snapshot(),
+		InsertProbe:     r.InsertProbe.Snapshot(),
+		DeleteProbe:     r.DeleteProbe.Snapshot(),
+		FindProbe:       r.FindProbe.Snapshot(),
+	}
+}

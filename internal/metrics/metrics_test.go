@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Load() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Load())
+	}
+	var g Gauge
+	g.Set(5)
+	g.Add(-8)
+	if g.Load() != -3 {
+		t.Fatalf("gauge = %d, want -3", g.Load())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{0, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 5121 || s.Min != 0 || s.Max != 5000 {
+		t.Fatalf("snapshot totals wrong: %+v", s)
+	}
+	want := map[uint64]uint64{10: 2, 100: 2, math.MaxUint64: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.UpperBound] != b.Count {
+			t.Fatalf("bucket %d = %d, want %d", b.UpperBound, b.Count, want[b.UpperBound])
+		}
+	}
+	if m := s.Mean(); m != 5121.0/5 {
+		t.Fatalf("mean = %g", m)
+	}
+	if q := s.Quantile(0.5); q != 100 {
+		t.Fatalf("p50 = %d, want 100", q)
+	}
+	if q := s.Quantile(1); q != 5000 {
+		t.Fatalf("p100 = %d, want observed max 5000", q)
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	s := NewHistogram(LatencyBounds()).Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	if s.Mean() != 0 || s.Quantile(0.99) != 0 {
+		t.Fatalf("empty derived stats not zero")
+	}
+}
+
+func TestObserveDurationClampsNegative(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	h.ObserveDuration(-time.Second)
+	if s := h.Snapshot(); s.Count != 1 || s.Max != 0 {
+		t.Fatalf("negative duration not clamped: %+v", s)
+	}
+}
+
+func TestDefaultBoundsIncreasing(t *testing.T) {
+	for _, bounds := range [][]uint64{LatencyBounds(), ProbeBounds()} {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("bounds not strictly increasing at %d: %v", i, bounds)
+			}
+		}
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *UpdateRecorder
+	r.RecordInsert(time.Microsecond, 3)
+	r.RecordDelete(time.Microsecond, 3)
+	r.RecordFind(time.Microsecond, 3)
+	if s := r.Snapshot(); s.InsertLatencyNs.Count != 0 {
+		t.Fatalf("nil recorder snapshot not zero")
+	}
+}
+
+func TestRecorderSnapshotJSON(t *testing.T) {
+	r := NewUpdateRecorder()
+	r.RecordInsert(250*time.Nanosecond, 4)
+	r.RecordFind(90*time.Nanosecond, 2)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]HistogramSnapshot
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["insert_latency_ns"].Count != 1 || decoded["find_probe_cells"].Count != 1 {
+		t.Fatalf("round-trip lost samples: %s", b)
+	}
+}
+
+// TestConcurrentObserveAndSnapshot hammers every instrument from writer
+// goroutines while readers snapshot — the -race contract of the package.
+func TestConcurrentObserveAndSnapshot(t *testing.T) {
+	r := NewUpdateRecorder()
+	var c Counter
+	var g Gauge
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.Snapshot()
+					_ = c.Load()
+					_ = g.Load()
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for k := 0; k < writers; k++ {
+		ww.Add(1)
+		go func(k int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				r.RecordInsert(time.Duration(i)*time.Nanosecond, i%50)
+				r.RecordDelete(time.Duration(i), i%50)
+				r.RecordFind(time.Duration(i), i%50)
+				c.Inc()
+				g.Add(1)
+			}
+		}(k)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	s := r.Snapshot()
+	if s.InsertLatencyNs.Count != writers*perWriter {
+		t.Fatalf("lost inserts: %d", s.InsertLatencyNs.Count)
+	}
+	if c.Load() != writers*perWriter || g.Load() != writers*perWriter {
+		t.Fatalf("lost counter/gauge updates")
+	}
+}

@@ -3,6 +3,8 @@ package stinger
 import (
 	"fmt"
 	"sync"
+
+	"graphtinker/internal/metrics"
 )
 
 // Parallel shards a STINGER graph across independent instances by source
@@ -167,11 +169,29 @@ func (p *Parallel) ForEachEdge(fn func(src, dst uint64, w float32) bool) {
 	}
 }
 
-// Stats merges the counters of every shard.
+// Stats merges the counters of every shard. Safe to call mid-batch: the
+// per-shard counters are atomics.
 func (p *Parallel) Stats() Stats {
 	var total Stats
 	for _, s := range p.shards {
 		total.Add(s.Stats())
 	}
 	return total
+}
+
+// ShardStats snapshots each shard's counters individually; safe mid-batch.
+func (p *Parallel) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Instrument attaches one shared update-path recorder to every shard (see
+// Stinger.Instrument). A nil rec detaches.
+func (p *Parallel) Instrument(rec *metrics.UpdateRecorder) {
+	for _, s := range p.shards {
+		s.Instrument(rec)
+	}
 }

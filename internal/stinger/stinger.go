@@ -11,7 +11,13 @@
 // non-contiguous block chains.
 package stinger
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"graphtinker/internal/metrics"
+)
 
 // Edge mirrors the core package's edge record.
 type Edge struct {
@@ -68,6 +74,37 @@ func (s *Stats) Add(other Stats) {
 	s.BlocksAllocated += other.BlocksAllocated
 }
 
+// statsCounters backs Stats with atomics so that concurrent FindEdge
+// callers and mid-batch Stats snapshots stay race-clean — mirroring the
+// GraphTinker store so instrumented comparisons are apples-to-apples.
+type statsCounters struct {
+	inserts, updates, deletes, finds atomic.Uint64
+	cellsInspected, blocksTraversed  atomic.Uint64
+	blocksAllocated                  atomic.Uint64
+}
+
+func (s *statsCounters) snapshot() Stats {
+	return Stats{
+		Inserts:         s.inserts.Load(),
+		Updates:         s.updates.Load(),
+		Deletes:         s.deletes.Load(),
+		Finds:           s.finds.Load(),
+		CellsInspected:  s.cellsInspected.Load(),
+		BlocksTraversed: s.blocksTraversed.Load(),
+		BlocksAllocated: s.blocksAllocated.Load(),
+	}
+}
+
+func (s *statsCounters) reset() {
+	s.inserts.Store(0)
+	s.updates.Store(0)
+	s.deletes.Store(0)
+	s.finds.Store(0)
+	s.cellsInspected.Store(0)
+	s.blocksTraversed.Store(0)
+	s.blocksAllocated.Store(0)
+}
+
 type stEdge struct {
 	dst    uint64
 	weight float32
@@ -99,7 +136,11 @@ type Stinger struct {
 	maxRawID uint64
 	sawAny   bool
 
-	stats Stats
+	stats statsCounters
+
+	// rec, when non-nil, receives per-operation latency and probe samples
+	// on the update paths (see Instrument).
+	rec *metrics.UpdateRecorder
 }
 
 // New constructs an empty STINGER instance.
@@ -144,7 +185,7 @@ func (st *Stinger) allocBlock() int32 {
 	st.numBlocks++
 	st.edges = growEdges(st.edges, st.cfg.EdgesPerBlock)
 	st.next = append(st.next, noBlock)
-	st.stats.BlocksAllocated++
+	st.stats.blocksAllocated.Add(1)
 	return b
 }
 
@@ -182,11 +223,22 @@ func (st *Stinger) OutDegree(src uint64) uint32 {
 	return st.vertices[src].degree
 }
 
-// Stats returns a copy of the accumulated counters.
-func (st *Stinger) Stats() Stats { return st.stats }
+// Stats returns a copy of the accumulated counters. The counters are
+// atomics, so snapshots are race-clean even beside concurrent FindEdge
+// callers or a batch running on a sibling shard.
+func (st *Stinger) Stats() Stats { return st.stats.snapshot() }
 
 // ResetStats clears the counters.
-func (st *Stinger) ResetStats() { st.stats = Stats{} }
+func (st *Stinger) ResetStats() { st.stats.reset() }
+
+// Instrument attaches an update-path recorder mirroring GraphTinker's: each
+// InsertEdge/DeleteEdge/FindEdge records its latency and probe distance
+// (cells inspected). A nil rec detaches. Do not attach or detach while
+// operations are in flight.
+func (st *Stinger) Instrument(rec *metrics.UpdateRecorder) { st.rec = rec }
+
+// Recorder returns the attached recorder (nil when detached).
+func (st *Stinger) Recorder() *metrics.UpdateRecorder { return st.rec }
 
 // MemoryBytes estimates the resident footprint.
 func (st *Stinger) MemoryBytes() uint64 {
@@ -198,6 +250,17 @@ func (st *Stinger) MemoryBytes() uint64 {
 // The whole block chain of src is probed first to rule out a duplicate —
 // the traversal cost the paper identifies as STINGER's weakness.
 func (st *Stinger) InsertEdge(src, dst uint64, w float32) bool {
+	if st.rec == nil {
+		isNew, _ := st.insertEdge(src, dst, w)
+		return isNew
+	}
+	start := time.Now()
+	isNew, cells := st.insertEdge(src, dst, w)
+	st.rec.RecordInsert(time.Since(start), cells)
+	return isNew
+}
+
+func (st *Stinger) insertEdge(src, dst uint64, w float32) (bool, int) {
 	st.observe(src)
 	st.observe(dst)
 	st.ensureVertex(src)
@@ -205,16 +268,19 @@ func (st *Stinger) InsertEdge(src, dst uint64, w float32) bool {
 
 	freeBlock, freeSlot := noBlock, -1
 	lastBlock := noBlock
+	var blocks, cells uint64
 	for b := v.head; b != noBlock; b = st.next[b] {
-		st.stats.BlocksTraversed++
+		blocks++
 		ed := st.blockEdges(b)
 		for i := range ed {
-			st.stats.CellsInspected++
+			cells++
 			if ed[i].valid {
 				if ed[i].dst == dst {
 					ed[i].weight = w
-					st.stats.Updates++
-					return false
+					st.stats.blocksTraversed.Add(blocks)
+					st.stats.cellsInspected.Add(cells)
+					st.stats.updates.Add(1)
+					return false, int(cells)
 				}
 			} else if freeSlot < 0 {
 				freeBlock, freeSlot = b, i
@@ -222,6 +288,8 @@ func (st *Stinger) InsertEdge(src, dst uint64, w float32) bool {
 		}
 		lastBlock = b
 	}
+	st.stats.blocksTraversed.Add(blocks)
+	st.stats.cellsInspected.Add(cells)
 
 	if freeSlot < 0 {
 		nb := st.allocBlock()
@@ -235,8 +303,8 @@ func (st *Stinger) InsertEdge(src, dst uint64, w float32) bool {
 	st.blockEdges(freeBlock)[freeSlot] = stEdge{dst: dst, weight: w, valid: true}
 	v.degree++
 	st.numEdges++
-	st.stats.Inserts++
-	return true
+	st.stats.inserts.Add(1)
+	return true, int(cells)
 }
 
 // InsertBatch inserts a batch, returning how many edges were new.
@@ -250,47 +318,80 @@ func (st *Stinger) InsertBatch(edges []Edge) int {
 	return inserted
 }
 
-// FindEdge reports the weight of (src, dst) if stored.
+// FindEdge reports the weight of (src, dst) if stored. Safe for concurrent
+// callers: the traversal mutates nothing but atomic counters.
 func (st *Stinger) FindEdge(src, dst uint64) (float32, bool) {
-	st.stats.Finds++
-	if src >= uint64(len(st.vertices)) {
-		return 0, false
+	if st.rec == nil {
+		w, _, ok := st.findEdge(src, dst)
+		return w, ok
 	}
+	start := time.Now()
+	w, cells, ok := st.findEdge(src, dst)
+	st.rec.RecordFind(time.Since(start), cells)
+	return w, ok
+}
+
+func (st *Stinger) findEdge(src, dst uint64) (float32, int, bool) {
+	st.stats.finds.Add(1)
+	if src >= uint64(len(st.vertices)) {
+		return 0, 0, false
+	}
+	var blocks, cells uint64
 	for b := st.vertices[src].head; b != noBlock; b = st.next[b] {
-		st.stats.BlocksTraversed++
+		blocks++
 		ed := st.blockEdges(b)
 		for i := range ed {
-			st.stats.CellsInspected++
+			cells++
 			if ed[i].valid && ed[i].dst == dst {
-				return ed[i].weight, true
+				st.stats.blocksTraversed.Add(blocks)
+				st.stats.cellsInspected.Add(cells)
+				return ed[i].weight, int(cells), true
 			}
 		}
 	}
-	return 0, false
+	st.stats.blocksTraversed.Add(blocks)
+	st.stats.cellsInspected.Add(cells)
+	return 0, int(cells), false
 }
 
 // DeleteEdge removes (src, dst), returning false when absent. The slot is
 // flagged invalid; STINGER does not compact chains.
 func (st *Stinger) DeleteEdge(src, dst uint64) bool {
+	if st.rec == nil {
+		removed, _ := st.deleteEdge(src, dst)
+		return removed
+	}
+	start := time.Now()
+	removed, cells := st.deleteEdge(src, dst)
+	st.rec.RecordDelete(time.Since(start), cells)
+	return removed
+}
+
+func (st *Stinger) deleteEdge(src, dst uint64) (bool, int) {
 	if src >= uint64(len(st.vertices)) {
-		return false
+		return false, 0
 	}
 	v := &st.vertices[src]
+	var blocks, cells uint64
 	for b := v.head; b != noBlock; b = st.next[b] {
-		st.stats.BlocksTraversed++
+		blocks++
 		ed := st.blockEdges(b)
 		for i := range ed {
-			st.stats.CellsInspected++
+			cells++
 			if ed[i].valid && ed[i].dst == dst {
 				ed[i].valid = false
 				v.degree--
 				st.numEdges--
-				st.stats.Deletes++
-				return true
+				st.stats.blocksTraversed.Add(blocks)
+				st.stats.cellsInspected.Add(cells)
+				st.stats.deletes.Add(1)
+				return true, int(cells)
 			}
 		}
 	}
-	return false
+	st.stats.blocksTraversed.Add(blocks)
+	st.stats.cellsInspected.Add(cells)
+	return false, int(cells)
 }
 
 // DeleteBatch removes a batch, returning how many edges were present.

@@ -1,0 +1,25 @@
+package graphtinker
+
+import "graphtinker/internal/metrics"
+
+// Observability facade: the internal/metrics primitives a caller needs to
+// instrument stores directly (Graph.Instrument / Parallel.Instrument /
+// Stinger.Instrument) and to consume the snapshots Session.MetricsSnapshot
+// and the CLIs' -metrics-out flag emit.
+
+// UpdateRecorder samples update-path latency and probe-distance histograms.
+// All methods are safe for concurrent use; a nil recorder no-ops.
+type UpdateRecorder = metrics.UpdateRecorder
+
+// RecorderSnapshot is a point-in-time copy of an UpdateRecorder's six
+// histograms (insert/delete/find latency in nanoseconds, and the cells
+// inspected per operation).
+type RecorderSnapshot = metrics.RecorderSnapshot
+
+// HistogramSnapshot is one frozen histogram: cumulative-bucket counts plus
+// count/sum/min/max, with Mean and Quantile helpers.
+type HistogramSnapshot = metrics.HistogramSnapshot
+
+// NewUpdateRecorder builds a recorder with the standard latency and probe
+// bucket layouts.
+func NewUpdateRecorder() *UpdateRecorder { return metrics.NewUpdateRecorder() }

@@ -37,11 +37,33 @@ func DefaultAttachmentPolicy() AttachmentPolicy {
 type Session struct {
 	graph   *Graph
 	engines map[string]*sessionAttachment
+
+	rec      *UpdateRecorder
+	batches  int
+	inserted int
+	deleted  int
 }
 
 type sessionAttachment struct {
 	engine *Engine
 	policy AttachmentPolicy
+
+	// Aggregated telemetry across every run this attachment has performed.
+	runs       int
+	recomputes int
+	aggregate  RunResult
+}
+
+func (a *sessionAttachment) record(res RunResult, recomputed bool) {
+	a.runs++
+	if recomputed {
+		a.recomputes++
+	}
+	if a.runs == 1 {
+		a.aggregate = res
+	} else {
+		a.aggregate.Merge(res)
+	}
 }
 
 // NewSession builds a session over a fresh store.
@@ -120,17 +142,22 @@ func (s *Session) ApplyBatch(b Batch) BatchOutcome {
 	out := BatchOutcome{Runs: make(map[string]RunResult, len(s.engines))}
 	out.Inserted = s.graph.InsertBatch(b.Insert)
 	out.Deleted = s.graph.DeleteBatch(b.Delete)
+	s.batches++
+	s.inserted += out.Inserted
+	s.deleted += out.Deleted
 
 	hasDeletes := out.Deleted > 0
 	for _, name := range s.Attached() {
 		att := s.engines[name]
 		var res RunResult
-		if hasDeletes && att.policy.RecomputeOnDelete {
+		recomputed := hasDeletes && att.policy.RecomputeOnDelete
+		if recomputed {
 			res = att.engine.RunFromScratch()
 			out.Recomputed = append(out.Recomputed, name)
 		} else {
 			res = att.engine.RunAfterBatch(b.Insert)
 		}
+		att.record(res, recomputed)
 		out.Runs[name] = res
 	}
 	return out
@@ -142,7 +169,73 @@ func (s *Session) Recompute(name string) (RunResult, error) {
 	if !ok {
 		return RunResult{}, fmt.Errorf("graphtinker: no program %q attached", name)
 	}
-	return att.engine.RunFromScratch(), nil
+	res := att.engine.RunFromScratch()
+	att.record(res, true)
+	return res, nil
+}
+
+// EnableMetrics attaches an update-path recorder to the session's store so
+// subsequent inserts, deletes and finds sample latency and probe-distance
+// histograms. Idempotent; returns the recorder (also reachable later via
+// MetricsSnapshot). The recorder is safe to snapshot concurrently with
+// updates.
+func (s *Session) EnableMetrics() *UpdateRecorder {
+	if s.rec == nil {
+		s.rec = NewUpdateRecorder()
+		s.graph.Instrument(s.rec)
+	}
+	return s.rec
+}
+
+// ProgramMetrics aggregates one attachment's engine runs.
+type ProgramMetrics struct {
+	// Runs counts engine invocations; Recomputes counts those forced from
+	// scratch (deletion batches under RecomputeOnDelete, or Recompute).
+	Runs       int `json:"runs"`
+	Recomputes int `json:"recomputes"`
+	// Aggregate merges every run: totals summed, per-iteration traces
+	// concatenated.
+	Aggregate RunResult `json:"aggregate"`
+}
+
+// SessionMetrics is the session-wide observability snapshot —
+// the JSON document cmd/gtload writes for -metrics-out.
+type SessionMetrics struct {
+	// Batches / Inserted / Deleted count ApplyBatch work so far.
+	Batches  int `json:"batches"`
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// Store is the store's operation-counter snapshot.
+	Store Stats `json:"store"`
+	// Updates holds the latency/probe histograms; nil until EnableMetrics.
+	Updates *RecorderSnapshot `json:"updates,omitempty"`
+	// Programs aggregates each attachment's runs, keyed by name.
+	Programs map[string]ProgramMetrics `json:"programs"`
+}
+
+// MetricsSnapshot captures the current session-wide metrics. Safe to call
+// at any time; histograms are read atomically (concurrent updates may land
+// in or out of the snapshot, but never corrupt it).
+func (s *Session) MetricsSnapshot() SessionMetrics {
+	m := SessionMetrics{
+		Batches:  s.batches,
+		Inserted: s.inserted,
+		Deleted:  s.deleted,
+		Store:    s.graph.Stats(),
+		Programs: make(map[string]ProgramMetrics, len(s.engines)),
+	}
+	if s.rec != nil {
+		snap := s.rec.Snapshot()
+		m.Updates = &snap
+	}
+	for name, att := range s.engines {
+		m.Programs[name] = ProgramMetrics{
+			Runs:       att.runs,
+			Recomputes: att.recomputes,
+			Aggregate:  att.aggregate,
+		}
+	}
+	return m
 }
 
 // Value returns the named program's current property of vertex v.

@@ -1,0 +1,87 @@
+package graphtinker
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSessionMetricsSnapshot(t *testing.T) {
+	s := newSessionT(t)
+	rec := s.EnableMetrics()
+	if rec == nil || s.EnableMetrics() != rec {
+		t.Fatalf("EnableMetrics not idempotent")
+	}
+	if err := s.Attach("bfs", BFS(0), DefaultAttachmentPolicy()); err != nil {
+		t.Fatal(err)
+	}
+
+	edges := []Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1}, {Src: 0, Dst: 3, Weight: 1},
+	}
+	s.ApplyBatch(Batch{Insert: edges})
+	s.ApplyBatch(Batch{Delete: edges[3:]})
+	if _, err := s.Recompute("bfs"); err != nil {
+		t.Fatal(err)
+	}
+
+	m := s.MetricsSnapshot()
+	if m.Batches != 2 || m.Inserted != 4 || m.Deleted != 1 {
+		t.Fatalf("batch accounting wrong: %+v", m)
+	}
+	if m.Store.Inserts != 4 || m.Store.Deletes != 1 {
+		t.Fatalf("store stats not captured: %+v", m.Store)
+	}
+	if m.Updates == nil {
+		t.Fatalf("updates histograms missing after EnableMetrics")
+	}
+	if got := m.Updates.InsertLatencyNs.Count; got != 4 {
+		t.Fatalf("insert latency samples = %d, want 4", got)
+	}
+	pm, ok := m.Programs["bfs"]
+	if !ok {
+		t.Fatalf("bfs program metrics missing")
+	}
+	// Run 1: incremental after inserts. Run 2: recompute (deletion batch).
+	// Run 3: explicit Recompute.
+	if pm.Runs != 3 || pm.Recomputes != 2 {
+		t.Fatalf("program run accounting: %+v", pm)
+	}
+	if len(pm.Aggregate.Iterations) != pm.Aggregate.FullIterations+pm.Aggregate.IncrementalIterations {
+		t.Fatalf("aggregate trace inconsistent: %d iterations vs %d+%d",
+			len(pm.Aggregate.Iterations), pm.Aggregate.FullIterations, pm.Aggregate.IncrementalIterations)
+	}
+	if pm.Aggregate.EdgesLoaded == 0 {
+		t.Fatalf("aggregate recorded no work")
+	}
+
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"batches", "store", "updates", "programs"} {
+		if _, present := decoded[key]; !present {
+			t.Fatalf("snapshot JSON missing %q", key)
+		}
+	}
+	upd := decoded["updates"].(map[string]any)
+	if _, present := upd["insert_latency_ns"]; !present {
+		t.Fatalf("updates JSON missing insert_latency_ns: %v", upd)
+	}
+}
+
+func TestSessionMetricsWithoutEnable(t *testing.T) {
+	s := newSessionT(t)
+	s.ApplyBatch(Batch{Insert: []Edge{{Src: 0, Dst: 1, Weight: 1}}})
+	m := s.MetricsSnapshot()
+	if m.Updates != nil {
+		t.Fatalf("updates present without EnableMetrics")
+	}
+	if m.Batches != 1 || m.Store.Inserts != 1 {
+		t.Fatalf("snapshot wrong without recorder: %+v", m)
+	}
+}
