@@ -7,6 +7,7 @@
 //	gtload -dataset Hollywood-2009 -scale 256
 //	gtload -rmat-scale 18 -edge-factor 16
 //	gtload -dataset RMAT_2M_32M -scale 128 -pagewidth 128 -no-cal
+//	gtload -rmat-scale 20 -shards 8 -stream -metrics-out stream.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"graphtinker/internal/core"
 	"graphtinker/internal/datasets"
 	"graphtinker/internal/edgefile"
+	"graphtinker/internal/ingest"
 	"graphtinker/internal/metrics"
 	"graphtinker/internal/rmat"
 )
@@ -43,6 +45,9 @@ func main() {
 		compact    = flag.Bool("compact", false, "use the delete-and-compact mechanism")
 		histograms = flag.Bool("histograms", false, "print probe/generation/degree histograms after loading")
 		metricsOut = flag.String("metrics-out", "", "write per-insert latency/probe histograms and store counters to this JSON file")
+		shards     = flag.Int("shards", 1, "load into a sharded store with this many shards")
+		stream     = flag.Bool("stream", false, "load through the streaming ingestion pipeline (sharded; use with -shards)")
+		coalesce   = flag.Int("coalesce", ingest.DefaultMaxBatch, "-stream: updates coalesced per flush")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the load to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -134,6 +139,14 @@ func main() {
 	if *compact {
 		cfg.DeleteMode = core.DeleteAndCompact
 	}
+	if *stream || *shards > 1 {
+		if *histograms {
+			fmt.Fprintln(os.Stderr, "gtload: -histograms is only available for the single-instance path")
+		}
+		loadSharded(cfg, batches, label, *shards, *stream, *coalesce, *metricsOut)
+		return
+	}
+
 	g, err := core.New(cfg)
 	if err != nil {
 		fatal("%v", err)
@@ -219,6 +232,102 @@ func main() {
 				fmt.Printf("  2^%-2d:     %d\n", k, c)
 			}
 		}
+	}
+}
+
+// loadSharded drives the sharded store, either synchronously (InsertBatch,
+// which forks one goroutine per shard per batch) or through the streaming
+// ingestion pipeline (-stream: coalescing buffer, per-shard worker pool,
+// bounded queues), and reports aggregate counters plus — for -stream —
+// the pipeline's queue-depth/batch-size/flush-latency telemetry.
+func loadSharded(cfg core.Config, batches [][]rmat.Edge, label string, shards int, stream bool, coalesce int, metricsOut string) {
+	p, err := core.NewParallel(cfg, shards)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	mode := "synchronous InsertBatch"
+	if stream {
+		mode = "streaming pipeline"
+	}
+	fmt.Printf("loading %s into %d shards via %s (%d batches)\n", label, shards, mode, len(batches))
+
+	var irec *ingest.Recorder
+	var totals ingest.Totals
+	var total int
+	start := time.Now()
+	if stream {
+		irec = ingest.NewRecorder()
+		pl, err := ingest.New(p, ingest.Options{MaxBatch: coalesce, Recorder: irec})
+		if err != nil {
+			fatal("%v", err)
+		}
+		ops := make([]ingest.Update, 0, coalesce)
+		for _, b := range batches {
+			ops = ops[:0]
+			for _, e := range b {
+				ops = append(ops, ingest.Insert(e.Src, e.Dst, e.Weight))
+			}
+			if err := pl.PushBatch(ops); err != nil {
+				fatal("push: %v", err)
+			}
+			total += len(b)
+		}
+		totals, _ = pl.Close()
+	} else {
+		for _, b := range batches {
+			edges := make([]core.Edge, len(b))
+			for j, e := range b {
+				edges[j] = core.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+			}
+			p.InsertBatch(edges)
+			total += len(b)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := p.Stats()
+	fmt.Printf("\nloaded %d tuples in %.2fs (%.2f Medges/s overall)\n",
+		total, elapsed.Seconds(), float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("live edges:          %d\n", p.NumEdges())
+	fmt.Printf("inserts/updates:     %d / %d\n", st.Inserts, st.Updates)
+	fmt.Printf("cells inspected:     %d (%.2f per op)\n", st.CellsInspected,
+		float64(st.CellsInspected)/float64(st.Inserts+st.Updates+1))
+	fmt.Printf("blocks allocated:    %d\n", st.BlocksAllocated)
+	for s, ss := range p.ShardStats() {
+		fmt.Printf("  shard %2d: %10d inserts, %8d blocks\n", s, ss.Inserts, ss.BlocksAllocated)
+	}
+	if stream {
+		snap := irec.Snapshot()
+		fmt.Printf("pipeline flushes:    %d (mean batch %.0f updates)\n",
+			snap.Flushes, snap.BatchSize.Mean())
+		fmt.Printf("flush latency:       mean %s\n", time.Duration(snap.FlushLatencyNs.Mean()))
+		fmt.Printf("pushed/applied:      %d / %d\n", totals.Pushed, totals.Inserted)
+	}
+
+	if metricsOut != "" {
+		doc := struct {
+			Label   string                   `json:"label"`
+			Shards  int                      `json:"shards"`
+			Stream  bool                     `json:"stream"`
+			Edges   int                      `json:"edges"`
+			Seconds float64                  `json:"seconds"`
+			Store   core.Stats               `json:"store"`
+			ByShard []core.Stats             `json:"by_shard"`
+			Ingest  *ingest.RecorderSnapshot `json:"ingest,omitempty"`
+		}{label, shards, stream, total, elapsed.Seconds(), st, p.ShardStats(), nil}
+		if irec != nil {
+			snap := irec.Snapshot()
+			doc.Ingest = &snap
+		}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		if err := os.WriteFile(metricsOut, append(raw, '\n'), 0o644); err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", metricsOut)
 	}
 }
 

@@ -13,7 +13,9 @@ import (
 	"graphtinker/internal/core"
 	"graphtinker/internal/datasets"
 	"graphtinker/internal/engine"
+	"graphtinker/internal/ingest"
 	"graphtinker/internal/stinger"
+	"graphtinker/internal/testutil"
 )
 
 func TestStoresAgreeOnDatasetStream(t *testing.T) {
@@ -179,6 +181,51 @@ func TestParallelShardsAgreeWithDatasetStream(t *testing.T) {
 			t.Fatalf("edge %d differs: %v vs %v", i, se[i], pe[i])
 		}
 	}
+}
+
+// TestStreamingPipelineAgreesWithDatasetLoad closes the loop between the
+// bench harness and the streaming layer using the shared testutil oracle:
+// a Table-1 dataset streamed through the ingestion pipeline must leave the
+// sharded store identical to the oracle's replay (and hence to the
+// synchronous load the figures use).
+func TestStreamingPipelineAgreesWithDatasetLoad(t *testing.T) {
+	opts := QuickOptions()
+	d, err := datasets.ByName("RMAT_500K_8M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, err := opts.materialize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, err := core.NewParallel(gtConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := ingest.New(par, ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testutil.NewRefGraph()
+	for _, b := range batches {
+		ops := make([]ingest.Update, len(b))
+		for i, e := range b {
+			ops[i] = ingest.Insert(e.Src, e.Dst, e.Weight)
+			ref.Insert(e.Src, e.Dst, e.Weight)
+		}
+		if err := pl.PushBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totals, err := pl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Inserted != ref.NumEdges() {
+		t.Fatalf("pipeline inserted %d, oracle has %d", totals.Inserted, ref.NumEdges())
+	}
+	testutil.CheckAgainstRef(t, par, ref)
 }
 
 func sortCoreEdges(es []core.Edge) {

@@ -12,10 +12,42 @@ import (
 // id hashes to (Sec. III.D, Fig. 6). Batch updates run one goroutine per
 // instance; because an edge's shard is a pure function of its source id, no
 // two goroutines ever touch the same instance.
+//
+// Concurrency contract: every shard is protected by its own sync.RWMutex.
+// Mutators (InsertBatch, DeleteBatch, InsertEdge, DeleteEdge, ApplyShard)
+// take the owning shard's write lock; queries (FindEdge, OutDegree,
+// ForEachOutEdge, ForEachEdge, ForEachShardEdge, NumEdges, MaxVertexID)
+// take read locks, so readers run safely while a streaming ingestion
+// pipeline drains into other shards — and block only on the shard currently
+// being written. Iteration callbacks must not call back into the same
+// Parallel: a reader re-entering while a writer waits on the same shard
+// would deadlock (RWMutex read locks are not reentrant under writer
+// pressure). Direct Shard(i) access bypasses the locks entirely and is only
+// safe when the caller has quiesced all writers.
 type Parallel struct {
 	cfg    Config
 	shards []*GraphTinker
+	locks  []sync.RWMutex
 	seed   uint64
+}
+
+// EdgeOp is one ordered mutation in a streamed update sequence: an insert
+// (or weight update) when Del is false, a deletion when Del is true.
+// Preserving op order per (Src, Dst) pair is what lets a concurrent
+// pipeline converge to the same state as a sequential replay.
+type EdgeOp struct {
+	Edge
+	Del bool
+}
+
+// InsertOp builds an insert/update op.
+func InsertOp(src, dst uint64, w float32) EdgeOp {
+	return EdgeOp{Edge: Edge{Src: src, Dst: dst, Weight: w}}
+}
+
+// DeleteOp builds a deletion op.
+func DeleteOp(src, dst uint64) EdgeOp {
+	return EdgeOp{Edge: Edge{Src: src, Dst: dst}, Del: true}
 }
 
 // NewParallel builds p independent instances sharing one configuration.
@@ -26,7 +58,12 @@ func NewParallel(cfg Config, p int) (*Parallel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	par := &Parallel{cfg: cfg, shards: make([]*GraphTinker, p), seed: cfg.HashSeed ^ 0xa24baed4963ee407}
+	par := &Parallel{
+		cfg:    cfg,
+		shards: make([]*GraphTinker, p),
+		locks:  make([]sync.RWMutex, p),
+		seed:   cfg.HashSeed ^ 0xa24baed4963ee407,
+	}
 	for i := range par.shards {
 		shardCfg := cfg
 		par.shards[i] = MustNew(shardCfg)
@@ -38,11 +75,40 @@ func NewParallel(cfg Config, p int) (*Parallel, error) {
 func (p *Parallel) Shards() int { return len(p.shards) }
 
 // Shard exposes instance i (read-only use; mutating it directly bypasses
-// the partitioning invariant).
+// the partitioning invariant and the per-shard locks).
 func (p *Parallel) Shard(i int) *GraphTinker { return p.shards[i] }
 
 // shardOf routes a source vertex to its instance.
 func (p *Parallel) shardOf(src uint64) int { return shardFor(src, p.seed, len(p.shards)) }
+
+// ShardOf reports which shard owns edges sourced at src — the partition
+// function streaming pipelines use to pre-route updates.
+func (p *Parallel) ShardOf(src uint64) int { return p.shardOf(src) }
+
+// ApplyShard applies an ordered op sequence to one shard under its write
+// lock, returning how many inserts were new and how many deletes hit a
+// live edge. Every op must be owned by the given shard (ShardOf(op.Src) ==
+// shard); routing is the caller's job so the hot loop stays branch-light.
+func (p *Parallel) ApplyShard(shard int, ops []EdgeOp) (inserted, deleted int) {
+	if len(ops) == 0 {
+		return 0, 0
+	}
+	p.locks[shard].Lock()
+	defer p.locks[shard].Unlock()
+	s := p.shards[shard]
+	for _, op := range ops {
+		if op.Del {
+			if s.DeleteEdge(op.Src, op.Dst) {
+				deleted++
+			}
+		} else {
+			if s.InsertEdge(op.Src, op.Dst, op.Weight) {
+				inserted++
+			}
+		}
+	}
+	return inserted, deleted
+}
 
 // partition splits a batch into per-shard sub-batches.
 func (p *Parallel) partition(edges []Edge) [][]Edge {
@@ -74,6 +140,8 @@ func (p *Parallel) InsertBatch(edges []Edge) int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			p.locks[i].Lock()
+			defer p.locks[i].Unlock()
 			results[i] = p.shards[i].InsertBatch(parts[i])
 		}(i)
 	}
@@ -98,6 +166,8 @@ func (p *Parallel) DeleteBatch(edges []Edge) int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			p.locks[i].Lock()
+			defer p.locks[i].Unlock()
 			results[i] = p.shards[i].DeleteBatch(parts[i])
 		}(i)
 	}
@@ -111,29 +181,44 @@ func (p *Parallel) DeleteBatch(edges []Edge) int {
 
 // InsertEdge routes a single insertion to its shard.
 func (p *Parallel) InsertEdge(src, dst uint64, w float32) bool {
-	return p.shards[p.shardOf(src)].InsertEdge(src, dst, w)
+	i := p.shardOf(src)
+	p.locks[i].Lock()
+	defer p.locks[i].Unlock()
+	return p.shards[i].InsertEdge(src, dst, w)
 }
 
 // DeleteEdge routes a single deletion to its shard.
 func (p *Parallel) DeleteEdge(src, dst uint64) bool {
-	return p.shards[p.shardOf(src)].DeleteEdge(src, dst)
+	i := p.shardOf(src)
+	p.locks[i].Lock()
+	defer p.locks[i].Unlock()
+	return p.shards[i].DeleteEdge(src, dst)
 }
 
 // FindEdge routes a lookup to its shard.
 func (p *Parallel) FindEdge(src, dst uint64) (float32, bool) {
-	return p.shards[p.shardOf(src)].FindEdge(src, dst)
+	i := p.shardOf(src)
+	p.locks[i].RLock()
+	defer p.locks[i].RUnlock()
+	return p.shards[i].FindEdge(src, dst)
 }
 
 // OutDegree routes a degree query to its shard.
 func (p *Parallel) OutDegree(src uint64) uint32 {
-	return p.shards[p.shardOf(src)].OutDegree(src)
+	i := p.shardOf(src)
+	p.locks[i].RLock()
+	defer p.locks[i].RUnlock()
+	return p.shards[i].OutDegree(src)
 }
 
-// NumEdges sums live edges across shards.
+// NumEdges sums live edges across shards. Concurrent writers may land in
+// or out of the sum; each shard's contribution is a consistent point read.
 func (p *Parallel) NumEdges() uint64 {
 	var n uint64
-	for _, s := range p.shards {
+	for i, s := range p.shards {
+		p.locks[i].RLock()
 		n += s.NumEdges()
+		p.locks[i].RUnlock()
 	}
 	return n
 }
@@ -142,8 +227,11 @@ func (p *Parallel) NumEdges() uint64 {
 func (p *Parallel) MaxVertexID() (uint64, bool) {
 	var maxID uint64
 	saw := false
-	for _, s := range p.shards {
-		if id, ok := s.MaxVertexID(); ok {
+	for i, s := range p.shards {
+		p.locks[i].RLock()
+		id, ok := s.MaxVertexID()
+		p.locks[i].RUnlock()
+		if ok {
 			if !saw || id > maxID {
 				maxID = id
 			}
@@ -153,18 +241,25 @@ func (p *Parallel) MaxVertexID() (uint64, bool) {
 	return maxID, saw
 }
 
-// ForEachOutEdge routes the per-vertex walk to the owning shard.
+// ForEachOutEdge routes the per-vertex walk to the owning shard. The
+// callback must not call back into this Parallel (see the type comment).
 func (p *Parallel) ForEachOutEdge(src uint64, fn func(dst uint64, w float32) bool) {
-	p.shards[p.shardOf(src)].ForEachOutEdge(src, fn)
+	i := p.shardOf(src)
+	p.locks[i].RLock()
+	defer p.locks[i].RUnlock()
+	p.shards[i].ForEachOutEdge(src, fn)
 }
 
-// ForEachEdge streams all edges shard by shard.
+// ForEachEdge streams all edges shard by shard. The walk is
+// per-shard-consistent: each shard is read-locked for its own scan, so a
+// concurrent pipeline can be mutating shard j while shard i streams.
 func (p *Parallel) ForEachEdge(fn func(src, dst uint64, w float32) bool) {
 	stopped := false
-	for _, s := range p.shards {
+	for i, s := range p.shards {
 		if stopped {
 			return
 		}
+		p.locks[i].RLock()
 		s.ForEachEdge(func(src, dst uint64, w float32) bool {
 			if !fn(src, dst, w) {
 				stopped = true
@@ -172,6 +267,7 @@ func (p *Parallel) ForEachEdge(fn func(src, dst uint64, w float32) bool) {
 			}
 			return true
 		})
+		p.locks[i].RUnlock()
 	}
 }
 
@@ -179,17 +275,19 @@ func (p *Parallel) ForEachEdge(fn func(src, dst uint64, w float32) bool) {
 // surface).
 func (p *Parallel) NumShards() int { return len(p.shards) }
 
-// ForEachShardEdge streams the live edges held by one shard. Safe to call
-// concurrently for distinct (or even the same) shards: the iteration
-// surface is read-only.
+// ForEachShardEdge streams the live edges held by one shard under its read
+// lock. Safe to call concurrently for distinct (or even the same) shards.
 func (p *Parallel) ForEachShardEdge(shard int, fn func(src, dst uint64, w float32) bool) {
+	p.locks[shard].RLock()
+	defer p.locks[shard].RUnlock()
 	p.shards[shard].ForEachEdge(fn)
 }
 
 // Stats merges the counters of every shard. The per-shard counters are
 // atomics, so merging is race-clean even while a concurrent batch update is
 // in flight (the snapshot may straddle in-flight operations, but every
-// field is individually consistent).
+// field is individually consistent). No locks are taken: Stats stays
+// wait-free so telemetry never stalls behind a long shard scan.
 func (p *Parallel) Stats() Stats {
 	var total Stats
 	for _, s := range p.shards {
@@ -214,8 +312,10 @@ func (p *Parallel) ShardStats() []Stats {
 // goroutines and mid-batch snapshot readers race-clean. A nil rec
 // detaches. Do not attach or detach while a batch is in flight.
 func (p *Parallel) Instrument(rec *metrics.UpdateRecorder) {
-	for _, s := range p.shards {
+	for i, s := range p.shards {
+		p.locks[i].Lock()
 		s.Instrument(rec)
+		p.locks[i].Unlock()
 	}
 }
 

@@ -1,73 +1,41 @@
 package core
 
-// refGraph is a trivially-correct reference implementation used to
-// cross-check every GraphTinker (and STINGER) behaviour: a map of adjacency
-// maps. Tests mirror each mutation into the reference and compare the full
-// observable state.
+// refGraph is the trivially-correct reference oracle used to cross-check
+// every GraphTinker (and STINGER) behaviour. The implementation lives in
+// the shared internal/testutil package (one oracle for the core, stinger,
+// ingest and bench suites); this file adapts it to the unexported names
+// the core tests predate it with.
 
 import (
 	"sort"
 	"testing"
+
+	"graphtinker/internal/testutil"
 )
 
 type refGraph struct {
+	*testutil.RefGraph
+	// adj aliases RefGraph.Adj (same map; the oracle never reassigns it)
+	// for the tests that walk the reference state directly.
 	adj map[uint64]map[uint64]float32
 }
 
 func newRefGraph() *refGraph {
-	return &refGraph{adj: make(map[uint64]map[uint64]float32)}
+	r := testutil.NewRefGraph()
+	return &refGraph{RefGraph: r, adj: r.Adj}
 }
 
-func (r *refGraph) insert(src, dst uint64, w float32) bool {
-	m, ok := r.adj[src]
-	if !ok {
-		m = make(map[uint64]float32)
-		r.adj[src] = m
-	}
-	_, existed := m[dst]
-	m[dst] = w
-	return !existed
-}
-
-func (r *refGraph) delete(src, dst uint64) bool {
-	m, ok := r.adj[src]
-	if !ok {
-		return false
-	}
-	if _, ok := m[dst]; !ok {
-		return false
-	}
-	delete(m, dst)
-	return true
-}
-
-func (r *refGraph) find(src, dst uint64) (float32, bool) {
-	m, ok := r.adj[src]
-	if !ok {
-		return 0, false
-	}
-	w, ok := m[dst]
-	return w, ok
-}
-
-func (r *refGraph) numEdges() uint64 {
-	var n uint64
-	for _, m := range r.adj {
-		n += uint64(len(m))
-	}
-	return n
-}
-
-func (r *refGraph) degree(src uint64) uint32 {
-	return uint32(len(r.adj[src]))
-}
+func (r *refGraph) insert(src, dst uint64, w float32) bool { return r.Insert(src, dst, w) }
+func (r *refGraph) delete(src, dst uint64) bool            { return r.Delete(src, dst) }
+func (r *refGraph) find(src, dst uint64) (float32, bool)   { return r.Find(src, dst) }
+func (r *refGraph) numEdges() uint64                       { return r.NumEdges() }
+func (r *refGraph) degree(src uint64) uint32               { return r.Degree(src) }
 
 func (r *refGraph) edges() []Edge {
-	var out []Edge
-	for src, m := range r.adj {
-		for dst, w := range m {
-			out = append(out, Edge{Src: src, Dst: dst, Weight: w})
-		}
+	ref := r.RefGraph.Edges()
+	out := make([]Edge, len(ref))
+	for i, e := range ref {
+		out[i] = Edge(e)
 	}
 	return out
 }

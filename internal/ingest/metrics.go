@@ -1,0 +1,73 @@
+package ingest
+
+import "graphtinker/internal/metrics"
+
+// Recorder bundles the pipeline's observability instruments, built on the
+// race-clean internal/metrics layer: a queue-depth gauge (updates admitted
+// but not yet applied), batch-size and latency histograms, and flush/reject
+// counters. All fields are safe for concurrent use; a nil *Recorder is a
+// valid no-op sink.
+type Recorder struct {
+	// QueueDepth tracks updates admitted but not yet applied to a shard
+	// (buffered + queued). Sampled after every admission and apply.
+	QueueDepth metrics.Gauge
+	// BatchSize observes the number of updates in each applied per-shard
+	// sub-batch — how well the coalescer is amortizing.
+	BatchSize *metrics.Histogram
+	// FlushLatency observes nanoseconds from a flush handing a sub-batch to
+	// its shard queue until the shard worker finished applying it (queue
+	// wait + apply).
+	FlushLatency *metrics.Histogram
+	// ApplyLatency observes just the ApplyShard call duration.
+	ApplyLatency *metrics.Histogram
+	// Flushes counts buffer flushes (size-, time- and barrier-triggered).
+	Flushes metrics.Counter
+	// Rejected counts pushes refused under the Reject backpressure policy.
+	Rejected metrics.Counter
+}
+
+// BatchSizeBounds are the sub-batch size histogram bounds: powers of two
+// from 1 to 1Mi updates.
+func BatchSizeBounds() []uint64 {
+	out := make([]uint64, 0, 21)
+	for b := uint64(1); b <= 1<<20; b <<= 1 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// NewRecorder builds a recorder with the default bounds.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		BatchSize:    metrics.NewHistogram(BatchSizeBounds()),
+		FlushLatency: metrics.NewHistogram(metrics.LatencyBounds()),
+		ApplyLatency: metrics.NewHistogram(metrics.LatencyBounds()),
+	}
+}
+
+// RecorderSnapshot is the JSON form of a Recorder — the "ingest" section of
+// cmd/gtload's -metrics-out document.
+type RecorderSnapshot struct {
+	QueueDepth     int64                     `json:"queue_depth"`
+	BatchSize      metrics.HistogramSnapshot `json:"batch_size_updates"`
+	FlushLatencyNs metrics.HistogramSnapshot `json:"flush_latency_ns"`
+	ApplyLatencyNs metrics.HistogramSnapshot `json:"apply_latency_ns"`
+	Flushes        uint64                    `json:"flushes"`
+	Rejected       uint64                    `json:"rejected"`
+}
+
+// Snapshot copies the recorder's state; a nil recorder yields a zero
+// snapshot.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	if r == nil {
+		return RecorderSnapshot{}
+	}
+	return RecorderSnapshot{
+		QueueDepth:     r.QueueDepth.Load(),
+		BatchSize:      r.BatchSize.Snapshot(),
+		FlushLatencyNs: r.FlushLatency.Snapshot(),
+		ApplyLatencyNs: r.ApplyLatency.Snapshot(),
+		Flushes:        r.Flushes.Load(),
+		Rejected:       r.Rejected.Load(),
+	}
+}

@@ -1,0 +1,449 @@
+// Package ingest is the streaming ingestion subsystem: it accepts an
+// unbounded stream of edge insert/delete updates, coalesces them into
+// batches (size- and time-triggered flush), partitions each batch by the
+// target's shard function, and applies per-shard sub-batches on a fixed
+// pool of per-shard worker goroutines with bounded admission and
+// caller-selectable backpressure (block or reject-with-error).
+//
+// Ordering and consistency model: updates pushed by one goroutine are
+// applied to their shard in push order (one FIFO queue and one worker per
+// shard), so the drained target converges to exactly the state a
+// sequential replay of the stream would produce — the property the
+// differential tests pin. Reads against the target during ingestion are
+// safe (core.Parallel read-locks per shard) but only eventually consistent;
+// Flush is the read-your-writes barrier: it returns once every update
+// admitted before the call has been applied.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"graphtinker/internal/core"
+)
+
+// Update is one streamed mutation (an insert/update or a delete); it is
+// core.EdgeOp, so pipelines and the sharded store share one op vocabulary.
+type Update = core.EdgeOp
+
+// Insert builds an insert/update op.
+func Insert(src, dst uint64, w float32) Update { return core.InsertOp(src, dst, w) }
+
+// Delete builds a deletion op.
+func Delete(src, dst uint64) Update { return core.DeleteOp(src, dst) }
+
+// Target is the sharded write surface a pipeline drains into.
+// *core.Parallel satisfies it; tests substitute instrumented fakes.
+type Target interface {
+	// NumShards reports how many independent write domains exist.
+	NumShards() int
+	// ShardOf routes a source vertex to its write domain.
+	ShardOf(src uint64) int
+	// ApplyShard applies an ordered op sequence to one shard, returning
+	// how many inserts were new and how many deletes hit a live edge. It
+	// is only ever called from the shard's single worker goroutine.
+	ApplyShard(shard int, ops []Update) (inserted, deleted int)
+}
+
+// Policy selects what Push does when the pipeline's admission budget is
+// exhausted.
+type Policy uint8
+
+const (
+	// Block makes Push wait until workers free budget (default).
+	Block Policy = iota
+	// Reject makes Push fail fast with ErrBackpressure.
+	Reject
+)
+
+// ErrClosed is returned by pushes after Close.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// ErrBackpressure is returned under the Reject policy when the pipeline's
+// in-flight budget is exhausted.
+var ErrBackpressure = errors.New("ingest: pipeline backpressure (queue full)")
+
+// Options configures a pipeline; zero values select the defaults.
+type Options struct {
+	// MaxBatch is the size-triggered flush threshold: the shared buffer is
+	// flushed to the shard queues when it holds this many updates
+	// (default 8192).
+	MaxBatch int
+	// FlushInterval is the time-triggered flush period, bounding how stale
+	// a trickle of updates can get (default 2ms; negative disables the
+	// timer so only size triggers and explicit Flush calls drain).
+	FlushInterval time.Duration
+	// MaxPending bounds updates admitted but not yet applied (buffered +
+	// queued). Pushes beyond it hit the backpressure Policy
+	// (default 8 × MaxBatch).
+	MaxPending int
+	// Policy selects blocking or rejecting backpressure.
+	Policy Policy
+	// Recorder, when non-nil, receives queue-depth/batch-size/latency
+	// telemetry.
+	Recorder *Recorder
+}
+
+// DefaultMaxBatch is the default size-triggered flush threshold.
+const DefaultMaxBatch = 8192
+
+// DefaultFlushInterval is the default time-triggered flush period.
+const DefaultFlushInterval = 2 * time.Millisecond
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = DefaultFlushInterval
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 8 * o.MaxBatch
+	}
+	return o
+}
+
+// Totals summarizes a pipeline's lifetime work.
+type Totals struct {
+	// Pushed counts updates admitted.
+	Pushed uint64 `json:"pushed"`
+	// Inserted / Deleted count ops that changed the target (new edges /
+	// removed live edges), as reported by ApplyShard.
+	Inserted uint64 `json:"inserted"`
+	Deleted  uint64 `json:"deleted"`
+}
+
+// job is one unit handed to a shard worker: either an ordered sub-batch or
+// a barrier marker (ack non-nil).
+type job struct {
+	ops []Update
+	at  time.Time
+	ack chan<- struct{}
+}
+
+// shardQueue is one shard's unbounded FIFO (admission is bounded globally
+// by MaxPending, so its backlog never exceeds the pipeline budget).
+type shardQueue struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	jobs   []job
+	closed bool
+}
+
+func newShardQueue() *shardQueue {
+	q := &shardQueue{}
+	q.cond.L = &q.mu
+	return q
+}
+
+// push appends a job; it reports false when the queue already shut down
+// (only barriers race that window).
+func (q *shardQueue) push(j job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.jobs = append(q.jobs, j)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next job; ok=false means closed and drained.
+func (q *shardQueue) pop() (job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.jobs) == 0 {
+		return job{}, false
+	}
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, true
+}
+
+func (q *shardQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Pipeline is the streaming coalescer; see the package comment for the
+// ordering/consistency model. All methods are safe for concurrent use.
+type Pipeline struct {
+	target Target
+	opts   Options
+	rec    *Recorder
+
+	mu      sync.Mutex
+	notFull sync.Cond
+	buf     []Update
+	pending int // admitted but unapplied updates
+	pushed  uint64
+	closed  bool
+
+	queues  []*shardQueue
+	workers sync.WaitGroup
+
+	timerStop chan struct{}
+	timerDone chan struct{}
+
+	totals struct {
+		mu                sync.Mutex
+		inserted, deleted uint64
+	}
+}
+
+// New starts a pipeline over the target: one worker goroutine per shard
+// plus (unless disabled) the flush timer. The caller must Close it.
+func New(target Target, opts Options) (*Pipeline, error) {
+	n := target.NumShards()
+	if n <= 0 {
+		return nil, fmt.Errorf("ingest: target reports %d shards", n)
+	}
+	p := &Pipeline{
+		target: target,
+		opts:   opts.withDefaults(),
+		rec:    opts.Recorder,
+		queues: make([]*shardQueue, n),
+	}
+	p.notFull.L = &p.mu
+	for i := range p.queues {
+		p.queues[i] = newShardQueue()
+	}
+	p.workers.Add(n)
+	for i := 0; i < n; i++ {
+		go p.runWorker(i)
+	}
+	if p.opts.FlushInterval > 0 {
+		p.timerStop = make(chan struct{})
+		p.timerDone = make(chan struct{})
+		go p.runTimer()
+	}
+	return p, nil
+}
+
+// MustNew is New for known-valid targets; it panics on error.
+func MustNew(target Target, opts Options) *Pipeline {
+	p, err := New(target, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Push admits one update. Under Block it waits for budget; under Reject it
+// returns ErrBackpressure when the in-flight budget is exhausted. Returns
+// ErrClosed after Close.
+func (p *Pipeline) Push(u Update) error {
+	return p.PushBatch([]Update{u})
+}
+
+// PushBatch admits a sequence of updates in order, amortizing one lock
+// acquisition across the slice. Under Block a batch larger than the free
+// budget is admitted in chunks as workers drain; under Reject the push
+// fails without admitting anything unless the whole batch fits.
+func (p *Pipeline) PushBatch(ops []Update) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if p.opts.Policy == Reject && p.opts.MaxPending-p.pending < len(ops) {
+		// Hand whatever is buffered to the workers so the backlog drains
+		// even if the caller never pushes again, then fail fast.
+		p.flushLocked()
+		p.rec.rejected()
+		return ErrBackpressure
+	}
+	for len(ops) > 0 {
+		for p.pending >= p.opts.MaxPending && !p.closed {
+			// The budget may be held entirely by the unflushed buffer; flush
+			// it so the workers can free budget while we wait.
+			p.flushLocked()
+			p.notFull.Wait()
+		}
+		if p.closed {
+			return ErrClosed
+		}
+		n := p.opts.MaxPending - p.pending
+		if n > len(ops) {
+			n = len(ops)
+		}
+		p.buf = append(p.buf, ops[:n]...)
+		p.pending += n
+		p.pushed += uint64(n)
+		ops = ops[n:]
+		if p.rec != nil {
+			p.rec.QueueDepth.Set(int64(p.pending))
+		}
+		if len(p.buf) >= p.opts.MaxBatch {
+			p.flushLocked()
+		}
+	}
+	return nil
+}
+
+// rejected is a nil-safe reject-counter bump.
+func (r *Recorder) rejected() {
+	if r != nil {
+		r.Rejected.Inc()
+	}
+}
+
+// flushLocked partitions the buffer into per-shard ordered sub-batches and
+// hands them to the shard queues. Caller holds p.mu.
+func (p *Pipeline) flushLocked() {
+	if len(p.buf) == 0 {
+		return
+	}
+	now := time.Now()
+	n := len(p.queues)
+	counts := make([]int, n)
+	for i := range p.buf {
+		counts[p.target.ShardOf(p.buf[i].Src)]++
+	}
+	parts := make([][]Update, n)
+	for s := range parts {
+		if counts[s] > 0 {
+			parts[s] = make([]Update, 0, counts[s])
+		}
+	}
+	for _, u := range p.buf {
+		s := p.target.ShardOf(u.Src)
+		parts[s] = append(parts[s], u)
+	}
+	p.buf = p.buf[:0]
+	if p.rec != nil {
+		p.rec.Flushes.Inc()
+	}
+	for s, part := range parts {
+		if len(part) > 0 {
+			p.queues[s].push(job{ops: part, at: now})
+		}
+	}
+}
+
+// runTimer fires time-triggered flushes until Close.
+func (p *Pipeline) runTimer() {
+	defer close(p.timerDone)
+	t := time.NewTicker(p.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.timerStop:
+			return
+		case <-t.C:
+			p.mu.Lock()
+			if !p.closed {
+				p.flushLocked()
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+// runWorker drains one shard's queue until it is closed and empty.
+func (p *Pipeline) runWorker(shard int) {
+	defer p.workers.Done()
+	q := p.queues[shard]
+	for {
+		j, ok := q.pop()
+		if !ok {
+			return
+		}
+		if j.ack != nil {
+			j.ack <- struct{}{}
+			continue
+		}
+		start := time.Now()
+		ins, del := p.target.ApplyShard(shard, j.ops)
+		if p.rec != nil {
+			done := time.Now()
+			p.rec.ApplyLatency.ObserveDuration(done.Sub(start))
+			p.rec.FlushLatency.ObserveDuration(done.Sub(j.at))
+			p.rec.BatchSize.Observe(uint64(len(j.ops)))
+		}
+		p.totals.mu.Lock()
+		p.totals.inserted += uint64(ins)
+		p.totals.deleted += uint64(del)
+		p.totals.mu.Unlock()
+		p.mu.Lock()
+		p.pending -= len(j.ops)
+		if p.rec != nil {
+			p.rec.QueueDepth.Set(int64(p.pending))
+		}
+		p.notFull.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// Flush is the read-your-writes barrier: it flushes the buffer and returns
+// once every update admitted before the call has been applied to its
+// shard. Concurrent pushes may land behind the barrier; they are not
+// waited for. Calling Flush on a closed pipeline returns immediately.
+func (p *Pipeline) Flush() {
+	p.mu.Lock()
+	p.flushLocked()
+	p.mu.Unlock()
+	ack := make(chan struct{}, len(p.queues))
+	sent := 0
+	for _, q := range p.queues {
+		if q.push(job{ack: ack}) {
+			sent++
+		}
+	}
+	for i := 0; i < sent; i++ {
+		<-ack
+	}
+}
+
+// Pending reports updates admitted but not yet applied.
+func (p *Pipeline) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
+// Totals snapshots the pipeline's lifetime counters. Safe at any time; the
+// inserted/deleted counts trail pushes by whatever is still in flight.
+func (p *Pipeline) Totals() Totals {
+	p.mu.Lock()
+	pushed := p.pushed
+	p.mu.Unlock()
+	p.totals.mu.Lock()
+	defer p.totals.mu.Unlock()
+	return Totals{Pushed: pushed, Inserted: p.totals.inserted, Deleted: p.totals.deleted}
+}
+
+// Close drains everything admitted so far, stops the timer and the
+// workers, and returns the final totals. Blocked pushers are released with
+// ErrClosed. Close is idempotent; later calls return ErrClosed.
+func (p *Pipeline) Close() (Totals, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return p.Totals(), ErrClosed
+	}
+	p.closed = true
+	p.flushLocked()
+	p.notFull.Broadcast()
+	p.mu.Unlock()
+	if p.timerStop != nil {
+		close(p.timerStop)
+		<-p.timerDone
+	}
+	for _, q := range p.queues {
+		q.close()
+	}
+	p.workers.Wait()
+	return p.Totals(), nil
+}

@@ -4,43 +4,25 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"graphtinker/internal/testutil"
 )
 
-// Reference model shared by the STINGER tests.
+// Reference model shared by the STINGER tests; the implementation is the
+// repository-wide oracle in internal/testutil.
 type refGraph struct {
-	adj map[uint64]map[uint64]float32
+	*testutil.RefGraph
+	adj map[uint64]map[uint64]float32 // aliases RefGraph.Adj
 }
 
-func newRefGraph() *refGraph { return &refGraph{adj: make(map[uint64]map[uint64]float32)} }
-
-func (r *refGraph) insert(src, dst uint64, w float32) bool {
-	m, ok := r.adj[src]
-	if !ok {
-		m = make(map[uint64]float32)
-		r.adj[src] = m
-	}
-	_, existed := m[dst]
-	m[dst] = w
-	return !existed
+func newRefGraph() *refGraph {
+	r := testutil.NewRefGraph()
+	return &refGraph{RefGraph: r, adj: r.Adj}
 }
 
-func (r *refGraph) delete(src, dst uint64) bool {
-	if m, ok := r.adj[src]; ok {
-		if _, ok := m[dst]; ok {
-			delete(m, dst)
-			return true
-		}
-	}
-	return false
-}
-
-func (r *refGraph) numEdges() uint64 {
-	var n uint64
-	for _, m := range r.adj {
-		n += uint64(len(m))
-	}
-	return n
-}
+func (r *refGraph) insert(src, dst uint64, w float32) bool { return r.Insert(src, dst, w) }
+func (r *refGraph) delete(src, dst uint64) bool            { return r.Delete(src, dst) }
+func (r *refGraph) numEdges() uint64                       { return r.NumEdges() }
 
 type testRand struct{ s uint64 }
 

@@ -1,0 +1,191 @@
+// Package testutil holds the shared single-threaded reference oracle the
+// repository's differential tests compare real stores against: a map of
+// adjacency maps with trivially-correct semantics. The core, stinger,
+// ingest and bench test suites all cross-check against this one
+// implementation instead of each keeping a private copy.
+//
+// The package deliberately does not import internal/core: that keeps it
+// importable from core's own in-package tests (no cycle). Its Edge struct
+// is field-compatible with core.Edge, so values convert directly with
+// core.Edge(e) / testutil.Edge(e).
+package testutil
+
+import (
+	"sort"
+	"testing"
+)
+
+// Edge is a weighted directed edge; field-compatible with core.Edge.
+type Edge struct {
+	Src    uint64
+	Dst    uint64
+	Weight float32
+}
+
+// RefGraph is the reference implementation: adjacency maps with
+// last-write-wins weights. It is not safe for concurrent use — it models
+// the sequential semantics concurrent stores must converge to.
+type RefGraph struct {
+	// Adj maps source → destination → weight. Exposed so tests can walk
+	// the oracle's state directly.
+	Adj map[uint64]map[uint64]float32
+}
+
+// NewRefGraph returns an empty oracle.
+func NewRefGraph() *RefGraph {
+	return &RefGraph{Adj: make(map[uint64]map[uint64]float32)}
+}
+
+// Insert adds or updates an edge; it reports whether the edge was new.
+func (r *RefGraph) Insert(src, dst uint64, w float32) bool {
+	m, ok := r.Adj[src]
+	if !ok {
+		m = make(map[uint64]float32)
+		r.Adj[src] = m
+	}
+	_, existed := m[dst]
+	m[dst] = w
+	return !existed
+}
+
+// Delete removes an edge; it reports whether the edge was present.
+func (r *RefGraph) Delete(src, dst uint64) bool {
+	m, ok := r.Adj[src]
+	if !ok {
+		return false
+	}
+	if _, ok := m[dst]; !ok {
+		return false
+	}
+	delete(m, dst)
+	return true
+}
+
+// Find looks up an edge's weight.
+func (r *RefGraph) Find(src, dst uint64) (float32, bool) {
+	m, ok := r.Adj[src]
+	if !ok {
+		return 0, false
+	}
+	w, ok := m[dst]
+	return w, ok
+}
+
+// NumEdges counts live edges.
+func (r *RefGraph) NumEdges() uint64 {
+	var n uint64
+	for _, m := range r.Adj {
+		n += uint64(len(m))
+	}
+	return n
+}
+
+// Degree returns the out-degree of src.
+func (r *RefGraph) Degree(src uint64) uint32 {
+	return uint32(len(r.Adj[src]))
+}
+
+// Edges returns the live edge set in arbitrary order.
+func (r *RefGraph) Edges() []Edge {
+	var out []Edge
+	for src, m := range r.Adj {
+		for dst, w := range m {
+			out = append(out, Edge{Src: src, Dst: dst, Weight: w})
+		}
+	}
+	return out
+}
+
+// SortEdges orders edges by (Src, Dst) for deterministic comparison.
+func SortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+}
+
+// Store is the minimal callback-based read surface CheckAgainstRef needs.
+// core.GraphTinker, core.Parallel and stinger.Stinger all satisfy it.
+type Store interface {
+	NumEdges() uint64
+	FindEdge(src, dst uint64) (float32, bool)
+	OutDegree(src uint64) uint32
+	ForEachEdge(fn func(src, dst uint64, w float32) bool)
+	ForEachOutEdge(src uint64, fn func(dst uint64, w float32) bool)
+}
+
+// CheckAgainstRef compares a store's full observable state — edge set,
+// per-source degrees and walks, point lookups — against the oracle and
+// fails the test on the first divergence.
+func CheckAgainstRef(t testing.TB, store Store, ref *RefGraph) {
+	t.Helper()
+	if got, want := store.NumEdges(), ref.NumEdges(); got != want {
+		t.Fatalf("NumEdges = %d, reference has %d", got, want)
+	}
+	var got []Edge
+	store.ForEachEdge(func(src, dst uint64, w float32) bool {
+		got = append(got, Edge{Src: src, Dst: dst, Weight: w})
+		return true
+	})
+	want := ref.Edges()
+	SortEdges(got)
+	SortEdges(want)
+	if len(got) != len(want) {
+		t.Fatalf("store holds %d edges, reference has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	for src, m := range ref.Adj {
+		if got, want := store.OutDegree(src), uint32(len(m)); got != want {
+			t.Fatalf("OutDegree(%d) = %d, want %d", src, got, want)
+		}
+		var walked uint32
+		store.ForEachOutEdge(src, func(dst uint64, w float32) bool {
+			rw, ok := m[dst]
+			if !ok {
+				t.Fatalf("ForEachOutEdge(%d) yielded absent edge to %d", src, dst)
+			}
+			if rw != w {
+				t.Fatalf("ForEachOutEdge(%d): edge to %d has weight %g, want %g", src, dst, w, rw)
+			}
+			walked++
+			return true
+		})
+		if walked != uint32(len(m)) {
+			t.Fatalf("ForEachOutEdge(%d) yielded %d edges, want %d", src, walked, len(m))
+		}
+		for dst, w := range m {
+			gw, ok := store.FindEdge(src, dst)
+			if !ok {
+				t.Fatalf("FindEdge(%d,%d) missing", src, dst)
+			}
+			if gw != w {
+				t.Fatalf("FindEdge(%d,%d) = %g, want %g", src, dst, gw, w)
+			}
+		}
+	}
+}
+
+// Rand is the xorshift-style deterministic PRNG the test suites share for
+// reproducible op streams.
+type Rand struct{ S uint64 }
+
+// Next returns the next 64-bit value.
+func (r *Rand) Next() uint64 {
+	r.S += 0x9e3779b97f4a7c15
+	z := r.S
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Float32 returns a small positive weight.
+func (r *Rand) Float32() float32 { return float32(r.Next()%1000) / 100 }

@@ -10,6 +10,7 @@ package graphtinker
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // AttachmentPolicy controls how an attached program reacts to batches.
@@ -34,7 +35,17 @@ func DefaultAttachmentPolicy() AttachmentPolicy {
 }
 
 // Session owns a store and its attached engines.
+//
+// Single-writer contract: the underlying Graph is not safe for concurrent
+// mutation, and attached programs recompute over the live graph, so every
+// mutating or engine-running entry point (ApplyBatch, Recompute, Attach,
+// Detach) and every snapshot of session state serializes on one internal
+// mutex. Concurrent ApplyBatch callers are therefore safe — they are
+// applied one at a time — and an attached program never observes a graph
+// mutating under it. The async stream (StartStream / ApplyAsync) funnels
+// through the same mutex.
 type Session struct {
+	mu      sync.Mutex
 	graph   *Graph
 	engines map[string]*sessionAttachment
 
@@ -42,6 +53,8 @@ type Session struct {
 	batches  int
 	inserted int
 	deleted  int
+
+	stream *SessionStream
 }
 
 type sessionAttachment struct {
@@ -82,6 +95,8 @@ func (s *Session) Graph() *Graph { return s.graph }
 // Attach registers a named program. The name keys later Value/Results
 // lookups.
 func (s *Session) Attach(name string, prog Program, policy AttachmentPolicy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.engines[name]; dup {
 		return fmt.Errorf("graphtinker: program %q already attached", name)
 	}
@@ -99,6 +114,8 @@ func (s *Session) Attach(name string, prog Program, policy AttachmentPolicy) err
 
 // Detach removes a named program; it reports whether it was attached.
 func (s *Session) Detach(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.engines[name]; !ok {
 		return false
 	}
@@ -108,6 +125,12 @@ func (s *Session) Detach(name string) bool {
 
 // Attached lists the attached program names, sorted.
 func (s *Session) Attached() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attachedLocked()
+}
+
+func (s *Session) attachedLocked() []string {
 	names := make([]string, 0, len(s.engines))
 	for n := range s.engines {
 		names = append(names, n)
@@ -137,8 +160,16 @@ type BatchOutcome struct {
 }
 
 // ApplyBatch applies the updates to the store, then runs every attached
-// program on the new graph state per its policy.
+// program on the new graph state per its policy. Safe for concurrent
+// callers: batches serialize on the session mutex (see the type comment),
+// so attached programs always recompute over a quiescent graph.
 func (s *Session) ApplyBatch(b Batch) BatchOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyBatchLocked(b)
+}
+
+func (s *Session) applyBatchLocked(b Batch) BatchOutcome {
 	out := BatchOutcome{Runs: make(map[string]RunResult, len(s.engines))}
 	out.Inserted = s.graph.InsertBatch(b.Insert)
 	out.Deleted = s.graph.DeleteBatch(b.Delete)
@@ -147,7 +178,7 @@ func (s *Session) ApplyBatch(b Batch) BatchOutcome {
 	s.deleted += out.Deleted
 
 	hasDeletes := out.Deleted > 0
-	for _, name := range s.Attached() {
+	for _, name := range s.attachedLocked() {
 		att := s.engines[name]
 		var res RunResult
 		recomputed := hasDeletes && att.policy.RecomputeOnDelete
@@ -165,6 +196,8 @@ func (s *Session) ApplyBatch(b Batch) BatchOutcome {
 
 // Recompute forces a named program to run from scratch now.
 func (s *Session) Recompute(name string) (RunResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	att, ok := s.engines[name]
 	if !ok {
 		return RunResult{}, fmt.Errorf("graphtinker: no program %q attached", name)
@@ -180,6 +213,8 @@ func (s *Session) Recompute(name string) (RunResult, error) {
 // MetricsSnapshot). The recorder is safe to snapshot concurrently with
 // updates.
 func (s *Session) EnableMetrics() *UpdateRecorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.rec == nil {
 		s.rec = NewUpdateRecorder()
 		s.graph.Instrument(s.rec)
@@ -217,6 +252,8 @@ type SessionMetrics struct {
 // at any time; histograms are read atomically (concurrent updates may land
 // in or out of the snapshot, but never corrupt it).
 func (s *Session) MetricsSnapshot() SessionMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := SessionMetrics{
 		Batches:  s.batches,
 		Inserted: s.inserted,
@@ -240,6 +277,8 @@ func (s *Session) MetricsSnapshot() SessionMetrics {
 
 // Value returns the named program's current property of vertex v.
 func (s *Session) Value(name string, v uint64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	att, ok := s.engines[name]
 	if !ok {
 		return 0, fmt.Errorf("graphtinker: no program %q attached", name)
@@ -247,8 +286,12 @@ func (s *Session) Value(name string, v uint64) (float64, error) {
 	return att.engine.Value(v), nil
 }
 
-// Engine exposes the named program's engine (read-mostly use).
+// Engine exposes the named program's engine (read-mostly use; while
+// batches may be applying concurrently, prefer Value, which serializes on
+// the session mutex).
 func (s *Session) Engine(name string) (*Engine, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	att, ok := s.engines[name]
 	if !ok {
 		return nil, false

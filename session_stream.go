@@ -1,0 +1,279 @@
+package graphtinker
+
+// Async ingestion for sessions: StartStream/ApplyAsync enqueue batches on
+// a bounded queue drained by one background worker that funnels into
+// ApplyBatch — so the single-writer contract (see Session) holds with any
+// number of producers, and attached programs keep their per-batch
+// semantics. For raw sharded throughput without per-batch analytics, use
+// the internal/ingest pipeline over a Parallel store via NewStreamPipeline.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"graphtinker/internal/ingest"
+)
+
+// ErrStreamClosed is returned by ApplyAsync after Close.
+var ErrStreamClosed = ingest.ErrClosed
+
+// ErrBackpressure is returned under RejectWhenFull when the stream queue
+// is full.
+var ErrBackpressure = ingest.ErrBackpressure
+
+// BackpressurePolicy selects what ApplyAsync does when the queue is full.
+type BackpressurePolicy = ingest.Policy
+
+const (
+	// BlockWhenFull makes ApplyAsync wait for queue space (default).
+	BlockWhenFull = ingest.Block
+	// RejectWhenFull makes ApplyAsync fail fast with ErrBackpressure.
+	RejectWhenFull = ingest.Reject
+)
+
+// StreamRecorder carries the async-path telemetry instruments (queue-depth
+// gauge, batch-size and latency histograms); it is the ingest package's
+// recorder, so session streams and sharded pipelines share one metrics
+// vocabulary.
+type StreamRecorder = ingest.Recorder
+
+// StreamRecorderSnapshot is the JSON form of a StreamRecorder.
+type StreamRecorderSnapshot = ingest.RecorderSnapshot
+
+// NewStreamRecorder builds a recorder with the default bounds.
+func NewStreamRecorder() *StreamRecorder { return ingest.NewRecorder() }
+
+// StreamOptions configures a session stream; zero values select defaults.
+type StreamOptions struct {
+	// QueueDepth bounds batches enqueued but not yet applied (default 16).
+	QueueDepth int
+	// Policy selects blocking or rejecting backpressure.
+	Policy BackpressurePolicy
+	// Recorder, when non-nil, receives queue-depth/batch-size/latency
+	// telemetry for the async path.
+	Recorder *StreamRecorder
+}
+
+// Completion is the handle ApplyAsync returns: it resolves once the batch
+// has been applied and every attached program has run on the result.
+type Completion struct {
+	done chan struct{}
+	out  BatchOutcome
+}
+
+// Done returns a channel closed when the batch's outcome is available.
+func (c *Completion) Done() <-chan struct{} { return c.done }
+
+// Wait blocks for the outcome.
+func (c *Completion) Wait() BatchOutcome {
+	<-c.done
+	return c.out
+}
+
+type streamItem struct {
+	b       Batch
+	c       *Completion
+	barrier chan struct{}
+	at      time.Time
+}
+
+// SessionStream is the async ingestion front of one session. Producers may
+// call ApplyAsync concurrently; batches are applied strictly in enqueue
+// order by a single worker.
+type SessionStream struct {
+	s    *Session
+	opts StreamOptions
+	rec  *StreamRecorder
+
+	q    *streamQueue
+	done chan struct{}
+}
+
+// StartStream starts the session's async worker. One stream may be active
+// per session at a time; Close it to start another.
+func (s *Session) StartStream(opts StreamOptions) (*SessionStream, error) {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 16
+	}
+	st := &SessionStream{
+		s:    s,
+		opts: opts,
+		rec:  opts.Recorder,
+		q:    newStreamQueue(opts.QueueDepth),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.stream != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("graphtinker: session already has an active stream")
+	}
+	s.stream = st
+	s.mu.Unlock()
+	go st.run()
+	return st, nil
+}
+
+// Stream returns the session's active async stream, or nil. Useful for
+// draining or closing a stream that ApplyAsync started lazily.
+func (s *Session) Stream() *SessionStream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stream
+}
+
+// ApplyAsync enqueues a batch on the session's stream, starting one with
+// default options if none is active, and returns its completion handle.
+func (s *Session) ApplyAsync(b Batch) (*Completion, error) {
+	s.mu.Lock()
+	st := s.stream
+	s.mu.Unlock()
+	if st == nil {
+		var err error
+		if st, err = s.StartStream(StreamOptions{}); err != nil {
+			// Raced with another caller's lazy start; reuse theirs.
+			s.mu.Lock()
+			st = s.stream
+			s.mu.Unlock()
+			if st == nil {
+				return nil, err
+			}
+		}
+	}
+	return st.ApplyAsync(b)
+}
+
+// ApplyAsync enqueues one batch and returns its completion handle. Under
+// BlockWhenFull it waits for queue space; under RejectWhenFull it returns
+// ErrBackpressure when the queue is full.
+func (st *SessionStream) ApplyAsync(b Batch) (*Completion, error) {
+	c := &Completion{done: make(chan struct{})}
+	item := streamItem{b: b, c: c, at: time.Now()}
+	if err := st.q.push(item, st.opts.Policy == RejectWhenFull); err != nil {
+		if st.rec != nil && err == ErrBackpressure {
+			st.rec.Rejected.Inc()
+		}
+		return nil, err
+	}
+	if st.rec != nil {
+		st.rec.QueueDepth.Set(int64(st.q.len()))
+	}
+	return c, nil
+}
+
+// Drain is the read-your-writes barrier: it returns once every batch
+// enqueued before the call has been applied (and its programs run).
+func (st *SessionStream) Drain() {
+	barrier := make(chan struct{})
+	if err := st.q.push(streamItem{barrier: barrier}, false); err != nil {
+		// Closed: the worker drains everything before exiting.
+		<-st.done
+		return
+	}
+	<-barrier
+}
+
+// Close drains the queue, stops the worker, and detaches the stream from
+// the session. Pending completions still resolve. Idempotent.
+func (st *SessionStream) Close() {
+	st.q.close()
+	<-st.done
+	st.s.mu.Lock()
+	if st.s.stream == st {
+		st.s.stream = nil
+	}
+	st.s.mu.Unlock()
+}
+
+// streamQueue is a bounded FIFO of stream items: pushes block (or reject)
+// at capacity, pops block while empty, and close wakes everyone.
+type streamQueue struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	items  []streamItem
+	cap    int
+	closed bool
+}
+
+func newStreamQueue(capacity int) *streamQueue {
+	q := &streamQueue{cap: capacity}
+	q.cond.L = &q.mu
+	return q
+}
+
+func (q *streamQueue) push(item streamItem, reject bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return ErrStreamClosed
+		}
+		if len(q.items) < q.cap {
+			q.items = append(q.items, item)
+			q.cond.Broadcast()
+			return nil
+		}
+		if reject {
+			return ErrBackpressure
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *streamQueue) pop() (streamItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.items) > 0 {
+			item := q.items[0]
+			q.items = q.items[1:]
+			q.cond.Broadcast()
+			return item, true
+		}
+		if q.closed {
+			return streamItem{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *streamQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *streamQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (st *SessionStream) run() {
+	defer close(st.done)
+	for {
+		item, ok := st.q.pop()
+		if !ok {
+			return
+		}
+		if st.rec != nil {
+			st.rec.QueueDepth.Set(int64(st.q.len()))
+		}
+		if item.barrier != nil {
+			close(item.barrier)
+			continue
+		}
+		start := time.Now()
+		out := st.s.ApplyBatch(item.b)
+		if st.rec != nil {
+			done := time.Now()
+			st.rec.ApplyLatency.ObserveDuration(done.Sub(start))
+			st.rec.FlushLatency.ObserveDuration(done.Sub(item.at))
+			st.rec.BatchSize.Observe(uint64(len(item.b.Insert) + len(item.b.Delete)))
+			st.rec.Flushes.Inc()
+		}
+		item.c.out = out
+		close(item.c.done)
+	}
+}

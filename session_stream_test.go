@@ -1,0 +1,246 @@
+package graphtinker
+
+// Tests for the session's concurrency contract: the single-writer guard on
+// ApplyBatch (regression for the previously unguarded concurrent-mutation
+// hazard) and the async StartStream/ApplyAsync layer built on top of it.
+// The suite runs in CI under -race.
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSessionConcurrentApplyBatch is the regression test for the
+// single-writer guard: many goroutines calling ApplyBatch concurrently
+// (with a program attached, so engine runs are in the critical section too)
+// must serialize cleanly and leave the deterministic final edge set.
+func TestSessionConcurrentApplyBatch(t *testing.T) {
+	s, err := NewSession(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach("cc", CC(), DefaultAttachmentPolicy()); err != nil {
+		t.Fatal(err)
+	}
+
+	const callers, batches, perBatch = 8, 20, 16
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := uint64(c * 10000)
+			for b := 0; b < batches; b++ {
+				batch := Batch{}
+				for i := 0; i < perBatch; i++ {
+					batch.Insert = append(batch.Insert, Edge{
+						Src:    base + uint64(b),
+						Dst:    base + uint64(b*perBatch+i+1),
+						Weight: 1,
+					})
+				}
+				out := s.ApplyBatch(batch)
+				if out.Inserted != perBatch {
+					t.Errorf("caller %d batch %d: inserted %d, want %d", c, b, out.Inserted, perBatch)
+				}
+				if _, ok := out.Runs["cc"]; !ok {
+					t.Errorf("caller %d batch %d: program did not run", c, b)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	want := uint64(callers * batches * perBatch)
+	if got := s.Graph().NumEdges(); got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	m := s.MetricsSnapshot()
+	if m.Batches != callers*batches || m.Inserted != int(want) {
+		t.Fatalf("metrics batches=%d inserted=%d, want %d/%d", m.Batches, m.Inserted, callers*batches, want)
+	}
+}
+
+func TestSessionStreamOrderedCompletions(t *testing.T) {
+	s, err := NewSession(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewStreamRecorder()
+	st, err := s.StartStream(StreamOptions{QueueDepth: 4, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var comps []*Completion
+	for i := 0; i < 10; i++ {
+		c, err := st.ApplyAsync(Batch{Insert: []Edge{{Src: uint64(i), Dst: uint64(i + 100), Weight: 1}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps = append(comps, c)
+	}
+	st.Drain()
+	// After the barrier every earlier batch is visible: read-your-writes.
+	if got := s.Graph().NumEdges(); got != 10 {
+		t.Fatalf("NumEdges after Drain = %d, want 10", got)
+	}
+	for i, c := range comps {
+		select {
+		case <-c.Done():
+		default:
+			t.Fatalf("completion %d not resolved after Drain", i)
+		}
+		if out := c.Wait(); out.Inserted != 1 {
+			t.Fatalf("completion %d inserted %d, want 1", i, out.Inserted)
+		}
+	}
+	st.Close()
+
+	snap := rec.Snapshot()
+	if snap.Flushes != 10 || snap.BatchSize.Sum != 10 {
+		t.Fatalf("recorder flushes=%d batch sum=%d, want 10/10", snap.Flushes, snap.BatchSize.Sum)
+	}
+	if snap.QueueDepth != 0 {
+		t.Fatalf("queue depth after close = %d", snap.QueueDepth)
+	}
+}
+
+func TestSessionStreamSingleActiveAndRestart(t *testing.T) {
+	s, err := NewSession(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.StartStream(StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StartStream(StreamOptions{}); err == nil {
+		t.Fatal("second StartStream should fail while one is active")
+	}
+	st.Close()
+	st.Close() // idempotent
+	if _, err := st.ApplyAsync(Batch{}); err != ErrStreamClosed {
+		t.Fatalf("ApplyAsync after Close: %v, want ErrStreamClosed", err)
+	}
+	st2, err := s.StartStream(StreamOptions{})
+	if err != nil {
+		t.Fatalf("restart after Close: %v", err)
+	}
+	st2.Close()
+}
+
+func TestSessionStreamRejectBackpressure(t *testing.T) {
+	s, err := NewSession(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewStreamRecorder()
+	st, err := s.StartStream(StreamOptions{QueueDepth: 2, Policy: RejectWhenFull, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the worker on the session mutex so the queue backs up
+	// deterministically: at most one item can leave the queue, so pushing
+	// QueueDepth+2 batches must reject at least once.
+	s.mu.Lock()
+	rejected := 0
+	for i := 0; i < 4; i++ {
+		if _, err := st.ApplyAsync(Batch{Insert: []Edge{{Src: uint64(i), Dst: 1, Weight: 1}}}); err == ErrBackpressure {
+			rejected++
+		} else if err != nil {
+			s.mu.Unlock()
+			t.Fatal(err)
+		}
+	}
+	s.mu.Unlock()
+	if rejected == 0 {
+		t.Fatal("expected at least one ErrBackpressure with a stalled worker")
+	}
+	st.Drain()
+	st.Close()
+	if got := rec.Snapshot().Rejected; got != uint64(rejected) {
+		t.Fatalf("recorder rejected=%d, want %d", got, rejected)
+	}
+	if got := s.Graph().NumEdges(); got != uint64(4-rejected) {
+		t.Fatalf("NumEdges = %d, want %d", got, 4-rejected)
+	}
+}
+
+func TestSessionApplyAsyncLazyStartConcurrent(t *testing.T) {
+	s, err := NewSession(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, each = 4, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			base := uint64(p * 1000)
+			for i := 0; i < each; i++ {
+				c, err := s.ApplyAsync(Batch{Insert: []Edge{{Src: base + uint64(i), Dst: base, Weight: 1}}})
+				if err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+				if out := c.Wait(); out.Inserted != 1 {
+					t.Errorf("producer %d op %d: inserted %d", p, i, out.Inserted)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	st := s.Stream()
+	if st == nil {
+		t.Fatal("lazy ApplyAsync left no active stream")
+	}
+	st.Close()
+	if s.Stream() != nil {
+		t.Fatal("Close should detach the stream")
+	}
+	if got := s.Graph().NumEdges(); got != producers*each {
+		t.Fatalf("NumEdges = %d, want %d", got, producers*each)
+	}
+}
+
+// Streaming and synchronous callers may interleave: both funnel through the
+// session mutex, so nothing is lost and programs always see quiescent state.
+func TestSessionStreamInterleavedWithSyncApply(t *testing.T) {
+	s, err := NewSession(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.StartStream(StreamOptions{QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if _, err := st.ApplyAsync(Batch{Insert: []Edge{{Src: uint64(i), Dst: 1, Weight: 1}}}); err != nil {
+				t.Errorf("async: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			s.ApplyBatch(Batch{Insert: []Edge{{Src: 10000 + uint64(i), Dst: 1, Weight: 1}}})
+		}
+	}()
+	wg.Wait()
+	st.Close()
+	if got := s.Graph().NumEdges(); got != 200 {
+		t.Fatalf("NumEdges = %d, want 200", got)
+	}
+	if m := s.MetricsSnapshot(); m.Batches != 200 {
+		t.Fatalf("batches = %d, want 200", m.Batches)
+	}
+}
