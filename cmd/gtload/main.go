@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	graphtinker "graphtinker"
 	"graphtinker/internal/core"
 	"graphtinker/internal/datasets"
 	"graphtinker/internal/edgefile"
@@ -48,6 +49,11 @@ func main() {
 		shards     = flag.Int("shards", 1, "load into a sharded store with this many shards")
 		stream     = flag.Bool("stream", false, "load through the streaming ingestion pipeline (sharded; use with -shards)")
 		coalesce   = flag.Int("coalesce", ingest.DefaultMaxBatch, "-stream: updates coalesced per flush")
+		strict     = flag.Bool("strict", false, "-file: reject corrupt lines (with byte offsets) instead of skipping them")
+		walDirF    = flag.String("wal-dir", "", "durability directory: WAL-log every op before applying (implies -stream)")
+		snapEvery  = flag.Uint64("snapshot-every", 0, "-wal-dir: auto-checkpoint after this many ops (0 = only at exit)")
+		syncEvery  = flag.Duration("sync-interval", 2*time.Millisecond, "-wal-dir: WAL group-commit period (0 = fsync every append, -1ns = barriers only)")
+		recoverF   = flag.Bool("recover", false, "-wal-dir: recover existing state from the directory before loading (no data flags = report and exit)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the load to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -96,7 +102,7 @@ func main() {
 			fatal("%v", err)
 		}
 		coreBatches, err := edgefile.ReadBatches(f, edgefile.Options{
-			Base: *fileBase, Symmetrize: *symmetrize,
+			Base: *fileBase, Symmetrize: *symmetrize, Strict: *strict,
 		}, *batch)
 		f.Close()
 		if err != nil {
@@ -128,6 +134,8 @@ func main() {
 			fatal("%v", err)
 		}
 		label = fmt.Sprintf("%s at 1/%d scale", d.Name, *scale)
+	case *recoverF && *walDirF != "":
+		label = "recovery only"
 	default:
 		fatal("need -dataset, -rmat-scale or -file (use -list to see datasets)")
 	}
@@ -138,6 +146,24 @@ func main() {
 	cfg.EnableSGH = !*noSGH
 	if *compact {
 		cfg.DeleteMode = core.DeleteAndCompact
+	}
+	if *walDirF != "" {
+		if *histograms {
+			fmt.Fprintln(os.Stderr, "gtload: -histograms is only available for the single-instance path")
+		}
+		loadDurable(cfg, batches, label, durableFlags{
+			dir:        *walDirF,
+			shards:     *shards,
+			coalesce:   *coalesce,
+			snapEvery:  *snapEvery,
+			syncEvery:  *syncEvery,
+			recover:    *recoverF,
+			metricsOut: *metricsOut,
+		})
+		return
+	}
+	if *recoverF {
+		fatal("-recover needs -wal-dir")
 	}
 	if *stream || *shards > 1 {
 		if *histograms {
@@ -328,6 +354,114 @@ func loadSharded(cfg core.Config, batches [][]rmat.Edge, label string, shards in
 			fatal("-metrics-out: %v", err)
 		}
 		fmt.Printf("metrics written to %s\n", metricsOut)
+	}
+}
+
+type durableFlags struct {
+	dir        string
+	shards     int
+	coalesce   int
+	snapEvery  uint64
+	syncEvery  time.Duration
+	recover    bool
+	metricsOut string
+}
+
+// loadDurable drives the crash-safe streaming path: every op is WAL-logged
+// before it is applied, so killing the process mid-load (see
+// scripts/kill_recover.sh) loses at most the group-commit window, and a
+// later -recover run restores the durable prefix exactly.
+func loadDurable(cfg core.Config, batches [][]rmat.Edge, label string, f durableFlags) {
+	wrec := graphtinker.NewWALRecorder()
+	ds, err := graphtinker.OpenDurableStream(cfg, f.dir, graphtinker.DurableStreamOptions{
+		Shards:   f.shards,
+		Pipeline: graphtinker.StreamPipelineOptions{MaxBatch: f.coalesce},
+		Durability: graphtinker.DurabilityOptions{
+			SyncInterval:  f.syncEvery,
+			SnapshotEvery: f.snapEvery,
+			Recorder:      wrec,
+		},
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	info := ds.Recovery()
+	if info.Recovered {
+		fmt.Printf("recovered %s: snapshot %d ops + replayed %d ops = LSN %d, %d live edges\n",
+			f.dir, info.SnapshotOps, info.ReplayedOps, ds.NextLSN(), ds.Store().NumEdges())
+	} else if f.recover {
+		fmt.Printf("nothing to recover in %s (fresh directory)\n", f.dir)
+	}
+
+	var total int
+	start := time.Now()
+	if len(batches) > 0 {
+		fmt.Printf("loading %s into %d shards via durable pipeline (wal-dir %s, %d batches)\n",
+			label, f.shards, f.dir, len(batches))
+		ops := make([]graphtinker.Update, 0, f.coalesce)
+		for i, b := range batches {
+			ops = ops[:0]
+			for _, e := range b {
+				ops = append(ops, graphtinker.InsertUpdate(e.Src, e.Dst, e.Weight))
+			}
+			bStart := time.Now()
+			if err := ds.PushBatch(ops); err != nil {
+				fatal("push: %v", err)
+			}
+			total += len(b)
+			fmt.Printf("  batch %3d: %8d edges, %7.2f Medges/s, LSN %d\n",
+				i+1, len(b), float64(len(b))/time.Since(bStart).Seconds()/1e6, ds.NextLSN())
+		}
+		if err := ds.Flush(); err != nil {
+			fatal("flush: %v", err)
+		}
+		if err := ds.Checkpoint(); err != nil {
+			fatal("checkpoint: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := ds.Store().Stats()
+	totals := ds.Totals()
+	if total > 0 {
+		fmt.Printf("\nloaded %d tuples in %.2fs (%.2f Medges/s overall, durably acknowledged)\n",
+			total, elapsed.Seconds(), float64(total)/elapsed.Seconds()/1e6)
+	}
+	fmt.Printf("live edges:          %d\n", ds.Store().NumEdges())
+	fmt.Printf("durable LSN:         %d\n", ds.NextLSN())
+	snap := wrec.Snapshot()
+	fmt.Printf("wal appends:         %d records / %d ops / %.1f MB\n",
+		snap.AppendedRecords, snap.AppendedOps, mb(snap.AppendedBytes))
+	fmt.Printf("wal fsyncs:          %d (mean %s)\n", snap.Fsyncs, time.Duration(snap.FsyncLatencyNs.Mean()))
+	fmt.Printf("wal segments:        %d created, %d pruned\n", snap.SegmentsCreated, snap.SegmentsPruned)
+	if snap.ReplayedOps > 0 || snap.TruncatedBytes > 0 {
+		fmt.Printf("wal recovery:        %d ops replayed, %d torn bytes truncated\n",
+			snap.ReplayedOps, snap.TruncatedBytes)
+	}
+
+	if f.metricsOut != "" {
+		doc := struct {
+			Label    string                          `json:"label"`
+			Shards   int                             `json:"shards"`
+			Edges    int                             `json:"edges"`
+			Seconds  float64                         `json:"seconds"`
+			Recovery graphtinker.RecoveryInfo        `json:"recovery"`
+			Store    core.Stats                      `json:"store"`
+			Totals   graphtinker.StreamTotals        `json:"totals"`
+			WAL      graphtinker.WALRecorderSnapshot `json:"wal"`
+		}{label, f.shards, total, elapsed.Seconds(), info, st, totals, snap}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		if err := os.WriteFile(f.metricsOut, append(raw, '\n'), 0o644); err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", f.metricsOut)
+	}
+
+	if _, err := ds.Close(); err != nil {
+		fatal("close: %v", err)
 	}
 }
 

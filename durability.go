@@ -1,0 +1,418 @@
+package graphtinker
+
+// Durability layer: crash-safe persistence for the streaming store. A
+// durability directory holds three things —
+//
+//	dir/MANIFEST.json   snapshot ↔ WAL-offset binding (atomic install)
+//	dir/snap-<lsn>.gts  the latest checkpoint (CRC-validated on load)
+//	dir/wal/            segmented, checksummed log of every admitted op
+//
+// The invariant the whole layer rests on: the WAL is an exact prefix of
+// the acknowledged op stream (appends happen under the pipeline lock in
+// push order), and a checkpoint at LSN n captures exactly ops [0, n). So
+// recovery = load snapshot + replay ops [n, NextLSN), and no op is ever
+// applied twice — records straddling n are sliced, not re-applied.
+//
+// Two durable paths share this file's plumbing: DurableStream (sharded
+// raw-throughput ingestion over a Parallel store) here, and the session
+// batch path in session_durability.go.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/ingest"
+	"graphtinker/internal/wal"
+)
+
+// ErrStreamDegraded is returned by durable pushes once the pipeline has
+// lost its durability guarantee (persistent WAL failure) or a shard has
+// been poisoned; see StreamTotals for the breakdown.
+var ErrStreamDegraded = ingest.ErrDegraded
+
+// ErrStreamTimeout is returned when a flush or close barrier misses its
+// configured deadline.
+var ErrStreamTimeout = ingest.ErrTimeout
+
+// ErrDurabilityDegraded is returned by durable-session batches (and
+// Checkpoint) after a WAL write has failed: accepting further batches
+// would break the WAL-is-a-prefix-of-acknowledged-batches invariant
+// recovery depends on. Recover from the directory to resume.
+var ErrDurabilityDegraded = errors.New("graphtinker: durability degraded (WAL write failed); recover from the directory to resume")
+
+// WALRecorder carries the WAL telemetry instruments (fsync latency,
+// segment bytes, appended/replayed/truncated counters).
+type WALRecorder = wal.Recorder
+
+// WALRecorderSnapshot is the JSON form of a WALRecorder — the "wal"
+// section of cmd/gtload's -metrics-out document.
+type WALRecorderSnapshot = wal.RecorderSnapshot
+
+// NewWALRecorder builds a WAL recorder with the default bounds.
+func NewWALRecorder() *WALRecorder { return wal.NewRecorder() }
+
+// DurabilityOptions tunes the WAL and checkpoint policy; zero values
+// select the defaults.
+type DurabilityOptions struct {
+	// SyncInterval is the WAL group-commit policy: 0 fsyncs every append
+	// (safest, slowest), > 0 runs a background flusher at that period
+	// (bounded loss window), < 0 fsyncs only at flush/close barriers and
+	// checkpoints (fastest; an unclean death loses everything since the
+	// last barrier).
+	SyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation threshold (default 16 MiB).
+	SegmentBytes int64
+	// SnapshotEvery, when > 0, auto-checkpoints after that many admitted
+	// ops (0 = checkpoint only on explicit Checkpoint calls).
+	SnapshotEvery uint64
+	// Recorder, when non-nil, receives the WAL telemetry.
+	Recorder *WALRecorder
+}
+
+// RecoveryInfo reports what opening a durability directory restored.
+type RecoveryInfo struct {
+	// Recovered is true when prior state (snapshot and/or WAL) was found.
+	Recovered bool `json:"recovered"`
+	// SnapshotOps is the op count the loaded snapshot covered (its LSN).
+	SnapshotOps uint64 `json:"snapshot_ops"`
+	// ReplayedOps counts ops replayed from the WAL tail past the snapshot.
+	ReplayedOps uint64 `json:"replayed_ops"`
+}
+
+const snapSuffix = ".gts"
+
+func snapName(lsn uint64) string { return fmt.Sprintf("snap-%016x%s", lsn, snapSuffix) }
+
+// walDir returns the log subdirectory of a durability directory.
+func walDir(dir string) string { return filepath.Join(dir, "wal") }
+
+// installSnapshot durably writes a checkpoint file: temp + fsync + rename
+// + directory fsync, then returns the manifest validation pair.
+func installSnapshot(dir, name string, write func(f *os.File) error) (crc uint32, size int64, err error) {
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return 0, 0, fmt.Errorf("graphtinker: checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(e error) (uint32, int64, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, 0, fmt.Errorf("graphtinker: checkpoint: %w", e)
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, 0, fmt.Errorf("graphtinker: checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, 0, fmt.Errorf("graphtinker: checkpoint: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return wal.FileCRC(path)
+}
+
+// removeStaleSnapshots deletes every snap-*.gts except keep. Failures are
+// ignored: a stale snapshot is garbage, not a correctness problem (the
+// manifest names the live one).
+func removeStaleSnapshots(dir, keep string) {
+	matches, _ := filepath.Glob(filepath.Join(dir, "snap-*"+snapSuffix))
+	for _, m := range matches {
+		if filepath.Base(m) != keep {
+			os.Remove(m)
+		}
+	}
+}
+
+// openSnapshot validates a manifest's snapshot file (size + CRC32-C) and
+// opens it for reading.
+func openSnapshot(dir string, m wal.Manifest) (*os.File, error) {
+	path := filepath.Join(dir, m.Snapshot)
+	crc, size, err := wal.FileCRC(path)
+	if err != nil {
+		return nil, fmt.Errorf("graphtinker: recover: snapshot %s: %w", m.Snapshot, err)
+	}
+	if size != m.SnapshotBytes || crc != m.SnapshotCRC {
+		return nil, fmt.Errorf("graphtinker: recover: snapshot %s fails validation: got %d bytes crc %08x, manifest says %d bytes crc %08x",
+			m.Snapshot, size, crc, m.SnapshotBytes, m.SnapshotCRC)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graphtinker: recover: %w", err)
+	}
+	return f, nil
+}
+
+// DurableStreamOptions configures OpenDurableStream.
+type DurableStreamOptions struct {
+	// Shards is the Parallel store width for a fresh directory (default 4).
+	// Recovery uses the snapshot's stored width instead.
+	Shards int
+	// Pipeline tunes batching/backpressure; its WAL field is managed by the
+	// durable stream and must be left nil.
+	Pipeline StreamPipelineOptions
+	// Durability tunes the WAL and checkpoint policy.
+	Durability DurabilityOptions
+}
+
+// DurableStream is a crash-safe streaming ingestion front over a sharded
+// store: every admitted op is WAL-logged before it is applied, Flush is an
+// acknowledged-means-durable barrier, Checkpoint compacts the log into a
+// snapshot, and reopening the same directory recovers exactly the logged
+// prefix of the stream. Safe for concurrent producers.
+type DurableStream struct {
+	dir   string
+	store *Parallel
+	log   *wal.Log
+	pipe  *StreamPipeline
+	opts  DurableStreamOptions
+	info  RecoveryInfo
+
+	// ckptMu serializes checkpoints against admission: pushes hold it
+	// shared, Checkpoint/Close/Crash exclusively — so a checkpoint's LSN
+	// exactly bounds the snapshot's contents.
+	ckptMu    sync.RWMutex
+	sinceCkpt atomic.Uint64
+	lastCkpt  uint64
+	closed    bool
+}
+
+// OpenDurableStream opens (or creates) the durability directory and
+// returns a ready stream: prior state is recovered — manifest-validated
+// snapshot, then idempotent WAL-tail replay — before any new op is
+// admitted. The returned stream owns the store, the log and the pipeline;
+// Close releases all three.
+func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*DurableStream, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	if opts.Pipeline.WAL != nil {
+		return nil, fmt.Errorf("graphtinker: durable stream: Pipeline.WAL is managed internally; leave it nil")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("graphtinker: durable stream: %w", err)
+	}
+
+	m, haveManifest, err := wal.LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	var store *Parallel
+	var info RecoveryInfo
+	if haveManifest {
+		f, err := openSnapshot(dir, m)
+		if err != nil {
+			return nil, err
+		}
+		store, err = core.ReadParallelSnapshot(f, nil)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("graphtinker: recover: %w", err)
+		}
+		info = RecoveryInfo{Recovered: true, SnapshotOps: m.LastLSN}
+	} else {
+		store, err = NewParallel(cfg, opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	log, err := wal.Open(walDir(dir), wal.Options{
+		SegmentBytes: opts.Durability.SegmentBytes,
+		SyncInterval: opts.Durability.SyncInterval,
+		Recorder:     opts.Durability.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if next := log.NextLSN(); next < m.LastLSN {
+		log.Close()
+		return nil, fmt.Errorf("graphtinker: recover: wal ends at LSN %d but manifest snapshot covers %d (log lost behind checkpoint)", next, m.LastLSN)
+	}
+	replayed, err := replayInto(walDir(dir), m.LastLSN, opts.Durability.Recorder, store)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	info.ReplayedOps = replayed
+	if replayed > 0 {
+		info.Recovered = true
+	}
+
+	popts := opts.Pipeline
+	popts.WAL = log
+	pipe, err := NewStreamPipeline(store, popts)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return &DurableStream{
+		dir:      dir,
+		store:    store,
+		log:      log,
+		pipe:     pipe,
+		opts:     opts,
+		info:     info,
+		lastCkpt: m.LastLSN,
+	}, nil
+}
+
+// replayInto applies the WAL tail from fromLSN onward to a sharded store,
+// grouping each record by shard. Returns how many ops were applied.
+func replayInto(dir string, fromLSN uint64, rec *WALRecorder, store *Parallel) (uint64, error) {
+	n := store.NumShards()
+	next, err := wal.Replay(dir, fromLSN, rec, func(lsn uint64, ops []Update) error {
+		parts := make([][]Update, n)
+		for _, op := range ops {
+			s := store.ShardOf(op.Src)
+			parts[s] = append(parts[s], op)
+		}
+		for s, part := range parts {
+			if len(part) > 0 {
+				store.ApplyShard(s, part)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if next < fromLSN {
+		return 0, nil
+	}
+	return next - fromLSN, nil
+}
+
+// Recovery reports what opening the directory restored.
+func (d *DurableStream) Recovery() RecoveryInfo { return d.info }
+
+// Store exposes the underlying sharded store for queries; mutate only
+// through the stream so the WAL stays a faithful prefix.
+func (d *DurableStream) Store() *Parallel { return d.store }
+
+// NextLSN is the durable stream position: the number of ops the WAL has
+// accepted so far.
+func (d *DurableStream) NextLSN() uint64 { return d.log.NextLSN() }
+
+// Totals snapshots the pipeline's lifetime counters.
+func (d *DurableStream) Totals() StreamTotals { return d.pipe.Totals() }
+
+// Push admits one op; PushBatch a sequence. ErrStreamDegraded is returned
+// once durability is lost.
+func (d *DurableStream) Push(u Update) error { return d.PushBatch([]Update{u}) }
+
+// PushBatch admits ops in order, then (when SnapshotEvery is set) runs an
+// auto-checkpoint if the period has elapsed.
+func (d *DurableStream) PushBatch(ops []Update) error {
+	d.ckptMu.RLock()
+	err := d.pipe.PushBatch(ops)
+	d.ckptMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if every := d.opts.Durability.SnapshotEvery; every > 0 {
+		if d.sinceCkpt.Add(uint64(len(ops))) >= every {
+			if cerr := d.Checkpoint(); cerr != nil && !errors.Is(cerr, ErrStreamClosed) {
+				return fmt.Errorf("graphtinker: auto-checkpoint: %w", cerr)
+			}
+		}
+	}
+	return nil
+}
+
+// Flush is the acknowledged-means-durable barrier: it returns once every
+// op admitted before the call has been applied to its shard and fsynced in
+// the WAL.
+func (d *DurableStream) Flush() error { return d.pipe.FlushSync() }
+
+// Checkpoint quiesces admission, drains and fsyncs everything admitted,
+// snapshots the store, atomically installs a manifest binding the snapshot
+// to the current WAL position, and prunes log segments the snapshot made
+// redundant. A degraded pipeline refuses to checkpoint: baking a partial
+// state into a snapshot (and pruning the log that could repair it) would
+// turn a transient loss into a permanent one.
+func (d *DurableStream) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.closed {
+		return ErrStreamClosed
+	}
+	if err := d.pipe.FlushSync(); err != nil {
+		return err
+	}
+	lsn := d.log.NextLSN()
+	return d.checkpointAtLocked(lsn)
+}
+
+func (d *DurableStream) checkpointAtLocked(lsn uint64) error {
+	name := snapName(lsn)
+	crc, size, err := installSnapshot(d.dir, name, func(f *os.File) error {
+		return d.store.WriteSnapshot(f)
+	})
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteManifest(d.dir, wal.Manifest{
+		Snapshot:      name,
+		LastLSN:       lsn,
+		SnapshotCRC:   crc,
+		SnapshotBytes: size,
+		Shards:        d.store.NumShards(),
+	}); err != nil {
+		return err
+	}
+	if _, err := d.log.Prune(lsn); err != nil && !errors.Is(err, wal.ErrClosed) {
+		return err
+	}
+	removeStaleSnapshots(d.dir, name)
+	d.lastCkpt = lsn
+	d.sinceCkpt.Store(0)
+	return nil
+}
+
+// Close drains the pipeline, fsyncs and closes the WAL, and shuts the
+// stream down. It does not checkpoint; call Checkpoint first to compact
+// the log (recovery replays the un-checkpointed tail either way).
+func (d *DurableStream) Close() (StreamTotals, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.closed {
+		return d.pipe.Totals(), ErrStreamClosed
+	}
+	d.closed = true
+	tot, err := d.pipe.Close()
+	if cerr := d.log.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return tot, err
+}
+
+// Crash abandons the stream the way a killed process would: queued work is
+// discarded, WAL buffers are dropped without flushing, nothing is synced.
+// Only ops already durable in the log survive a subsequent
+// OpenDurableStream. Built for the chaos suite.
+func (d *DurableStream) Crash() {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.closed {
+		return
+	}
+	d.closed = true
+	d.pipe.Abort()
+	d.log.Crash()
+}

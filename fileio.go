@@ -6,8 +6,14 @@ import (
 	"graphtinker/internal/edgefile"
 )
 
-// EdgeFileOptions tunes text edge-list parsing (see ReadEdgeList).
+// EdgeFileOptions tunes text edge-list parsing (see ReadEdgeList). Set
+// Strict to reject corrupt lines — with line number and byte offset —
+// instead of skipping them.
 type EdgeFileOptions = edgefile.Options
+
+// ErrMalformedEdgeList is wrapped by every strict-mode parse rejection, so
+// callers can tell corrupt input from I/O failure with errors.Is.
+var ErrMalformedEdgeList = edgefile.ErrMalformed
 
 // ReadEdgeList parses a whitespace-separated "src dst [weight]" edge list
 // ('#'/'%' comment lines tolerated, so SNAP files and Matrix Market

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildParallelForSnapshot(t *testing.T, shards int) (*Parallel, []EdgeOp) {
+	t.Helper()
+	p, err := NewParallel(DefaultConfig(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []EdgeOp
+	s := uint64(99)
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < 5000; i++ {
+		src, dst := next()%700, next()%700
+		if next()%6 == 0 {
+			ops = append(ops, DeleteOp(src, dst))
+			p.DeleteEdge(src, dst)
+		} else {
+			w := float32(next()%100) / 10
+			ops = append(ops, InsertOp(src, dst, w))
+			p.InsertEdge(src, dst, w)
+		}
+	}
+	return p, ops
+}
+
+func edgesOf(p *Parallel) map[[2]uint64]float32 {
+	m := make(map[[2]uint64]float32)
+	p.ForEachEdge(func(src, dst uint64, w float32) bool {
+		m[[2]uint64{src, dst}] = w
+		return true
+	})
+	return m
+}
+
+func TestParallelSnapshotRoundTrip(t *testing.T) {
+	p, _ := buildParallelForSnapshot(t, 4)
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParallelSnapshot(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards() != 4 {
+		t.Fatalf("restored %d shards, want 4", got.Shards())
+	}
+	want := edgesOf(p)
+	have := edgesOf(got)
+	if len(have) != len(want) {
+		t.Fatalf("restored %d edges, want %d", len(have), len(want))
+	}
+	for k, w := range want {
+		if have[k] != w {
+			t.Fatalf("edge %v: got %g, want %g", k, have[k], w)
+		}
+	}
+	// Per-shard content must match too (same seed → same partition).
+	for i := 0; i < 4; i++ {
+		if a, b := p.Shard(i).NumEdges(), got.Shard(i).NumEdges(); a != b {
+			t.Fatalf("shard %d: %d edges restored, want %d", i, b, a)
+		}
+	}
+}
+
+func TestParallelSnapshotOverrideReshards(t *testing.T) {
+	p, _ := buildParallelForSnapshot(t, 4)
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	override := DefaultConfig()
+	override.HashSeed = 0xdeadbeef // changes the partition function
+	got, err := ReadParallelSnapshot(bytes.NewReader(buf.Bytes()), &override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := edgesOf(p)
+	have := edgesOf(got)
+	if len(have) != len(want) {
+		t.Fatalf("restored %d edges under override, want %d", len(have), len(want))
+	}
+	// Every edge must live on the shard the new partition assigns.
+	ok := true
+	got.ForEachEdge(func(src, dst uint64, w float32) bool {
+		shard := got.ShardOf(src)
+		if _, found := got.Shard(shard).FindEdge(src, dst); !found {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("an edge landed off its partition shard after override load")
+	}
+}
+
+func TestParallelSnapshotCorruptInputs(t *testing.T) {
+	p, _ := buildParallelForSnapshot(t, 2)
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "header truncated at byte offset 0"},
+		{"short-header", func(b []byte) []byte { return b[:4] }, "header truncated"},
+		{"bad-magic", func(b []byte) []byte { c := append([]byte(nil), b...); c[0] ^= 0xff; return c }, "not a sharded"},
+		{"short-config", func(b []byte) []byte { return b[:10+8*3] }, "config truncated"},
+		{"short-count", func(b []byte) []byte { return b[:10+8*9+4] }, "edge count truncated"},
+		{"mid-edge", func(b []byte) []byte { return b[:len(b)-7] }, "truncated at byte offset"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadParallelSnapshot(bytes.NewReader(tc.mutate(full)), nil)
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestSingleSnapshotCorruptInputs(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	for i := uint64(0); i < 100; i++ {
+		g.InsertEdge(i, i+1, 1)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, tc := range []struct {
+		name string
+		cut  int
+		want string
+	}{
+		{"short-header", 3, "header truncated"},
+		{"short-config", 6 + 16, "config truncated"},
+		{"short-count", 6 + 72 + 2, "edge count truncated"},
+		{"mid-edge", len(full) - 9, "truncated at byte offset"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSnapshot(bytes.NewReader(full[:tc.cut]), nil)
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

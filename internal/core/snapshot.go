@@ -70,16 +70,35 @@ func (gt *GraphTinker) WriteSnapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
+// countingReader tracks how many bytes have been consumed so load-path
+// errors can report the byte offset of truncation or corruption.
+type countingReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += int64(n)
+	return n, err
+}
+
 // ReadSnapshot reconstructs an instance from a snapshot produced by
 // WriteSnapshot. The stored configuration is used unless override is
 // non-nil (letting callers re-shard or re-tune geometry on load).
+// Truncated or corrupt input fails with a wrapped error naming the byte
+// offset; a short edge section never silently yields a partial graph.
 func ReadSnapshot(r io.Reader, override *Config) (*GraphTinker, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
 	le := binary.LittleEndian
+	// offset reports the position of the *unconsumed* stream head: bytes
+	// handed to the caller so far, not bytes buffered ahead by bufio.
+	offset := func() int64 { return cr.off - int64(br.Buffered()) }
 
 	var head [6]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
-		return nil, fmt.Errorf("core: snapshot header: %w", err)
+		return nil, fmt.Errorf("core: snapshot header truncated at byte offset %d: %w", offset(), err)
 	}
 	if le.Uint32(head[0:]) != snapshotMagic {
 		return nil, fmt.Errorf("core: not a GraphTinker snapshot")
@@ -92,7 +111,7 @@ func ReadSnapshot(r io.Reader, override *Config) (*GraphTinker, error) {
 	var buf [8]byte
 	for i := range fields {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("core: snapshot config: %w", err)
+			return nil, fmt.Errorf("core: snapshot config truncated at byte offset %d: %w", offset(), err)
 		}
 		fields[i] = le.Uint64(buf[:])
 	}
@@ -116,16 +135,19 @@ func ReadSnapshot(r io.Reader, override *Config) (*GraphTinker, error) {
 	}
 
 	if _, err := io.ReadFull(br, buf[:]); err != nil {
-		return nil, fmt.Errorf("core: snapshot edge count: %w", err)
+		return nil, fmt.Errorf("core: snapshot edge count truncated at byte offset %d: %w", offset(), err)
 	}
 	count := le.Uint64(buf[:])
 
 	var rec [20]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("core: snapshot edge %d: %w", i, err)
+			return nil, fmt.Errorf("core: snapshot edge %d of %d truncated at byte offset %d: %w", i, count, offset(), err)
 		}
 		gt.InsertEdge(le.Uint64(rec[0:]), le.Uint64(rec[8:]), floatFrom(le.Uint32(rec[16:])))
+	}
+	if got := gt.NumEdges(); got != count {
+		return nil, fmt.Errorf("core: snapshot declared %d edges but rebuilding yielded %d (duplicate records)", count, got)
 	}
 	gt.ResetStats() // loading is not part of the measured workload
 	return gt, nil

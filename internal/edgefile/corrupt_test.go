@@ -1,0 +1,145 @@
+package edgefile
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestStrictRejectsCorruptInput drives the strict parser over a table of
+// corrupt inputs and checks each rejection wraps ErrMalformed and names the
+// exact line and byte offset of the offending line.
+func TestStrictRejectsCorruptInput(t *testing.T) {
+	cases := []struct {
+		name       string
+		input      string
+		opts       Options
+		wantLine   string // substring the error must carry
+		wantOffset string // "byte offset N" substring
+		goodBefore int    // edges that must parse before the failure
+	}{
+		{
+			name:       "one-column line",
+			input:      "1 2\n3\n4 5\n",
+			opts:       Options{Strict: true},
+			wantLine:   "at least 2 columns",
+			wantOffset: "byte offset 4",
+			goodBefore: 1,
+		},
+		{
+			name:       "non-numeric src",
+			input:      "1 2 0.5\nfoo 3\n",
+			opts:       Options{Strict: true},
+			wantLine:   "unsigned integers",
+			wantOffset: "byte offset 8",
+			goodBefore: 1,
+		},
+		{
+			name:       "negative id",
+			input:      "-1 2\n",
+			opts:       Options{Strict: true},
+			wantLine:   "unsigned integers",
+			wantOffset: "byte offset 0",
+		},
+		{
+			name:       "uint64 overflow",
+			input:      "1 2\n99999999999999999999 3\n",
+			opts:       Options{Strict: true},
+			wantLine:   "unsigned integers",
+			wantOffset: "byte offset 4",
+			goodBefore: 1,
+		},
+		{
+			name:       "bad weight column",
+			input:      "1 2 heavy\n",
+			opts:       Options{Strict: true},
+			wantLine:   "weight column",
+			wantOffset: "byte offset 0",
+		},
+		{
+			name:       "id below base",
+			input:      "5 6\n0 6\n",
+			opts:       Options{Strict: true, Base: 1},
+			wantLine:   "below base 1",
+			wantOffset: "byte offset 4",
+			goodBefore: 1,
+		},
+		{
+			name:       "crlf offsets stay exact",
+			input:      "1 2\r\n3 4\r\nbad\r\n",
+			opts:       Options{Strict: true},
+			wantLine:   "at least 2 columns",
+			wantOffset: "byte offset 10",
+			goodBefore: 2,
+		},
+		{
+			name:       "binary garbage",
+			input:      "7 8\n\x00\x01\x02 \x03\n",
+			opts:       Options{Strict: true},
+			wantLine:   "unsigned integers",
+			wantOffset: "byte offset 4",
+			goodBefore: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(tc.input), tc.opts)
+			for i := 0; i < tc.goodBefore; i++ {
+				if _, err := r.Next(); err != nil {
+					t.Fatalf("edge %d before the corrupt line failed: %v", i, err)
+				}
+			}
+			_, err := r.Next()
+			if err == nil || err == io.EOF {
+				t.Fatalf("strict parse accepted corrupt input (err=%v)", err)
+			}
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("error %v does not wrap ErrMalformed", err)
+			}
+			for _, want := range []string{tc.wantLine, tc.wantOffset} {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLenientSkipsWhatStrictRejects pins the default behaviour: the same
+// corrupt lines are counted as skipped, and the valid edges still parse.
+func TestLenientSkipsWhatStrictRejects(t *testing.T) {
+	input := "1 2\nfoo 3\n4\n5 6 0.25\n"
+	r := NewReader(strings.NewReader(input), Options{})
+	var n int
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("lenient parse failed: %v", err)
+		}
+		n++
+	}
+	if n != 2 || r.Skipped() != 2 {
+		t.Fatalf("parsed %d edges with %d skipped, want 2 and 2", n, r.Skipped())
+	}
+}
+
+// TestOversizedLineReportsOffset checks the scanner's too-long failure is
+// wrapped with a byte position rather than surfaced bare.
+func TestOversizedLineReportsOffset(t *testing.T) {
+	input := "1 2\n" + strings.Repeat("9", 2<<20) + " 3\n"
+	r := NewReader(strings.NewReader(input), Options{Strict: true})
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if err == nil || err == io.EOF {
+		t.Fatal("oversized line accepted")
+	}
+	if !strings.Contains(err.Error(), "byte offset") {
+		t.Fatalf("error %q carries no byte offset", err)
+	}
+}

@@ -9,6 +9,7 @@ package edgefile
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -16,6 +17,10 @@ import (
 
 	"graphtinker/internal/core"
 )
+
+// ErrMalformed is wrapped by every parse rejection a strict Reader raises,
+// so callers can distinguish corrupt input from I/O failure with errors.Is.
+var ErrMalformed = errors.New("edgefile: malformed input")
 
 // Options tunes parsing.
 type Options struct {
@@ -27,6 +32,10 @@ type Options struct {
 	Base uint64
 	// Symmetrize emits each edge in both directions.
 	Symmetrize bool
+	// Strict rejects any non-comment line that does not parse as an edge
+	// instead of silently skipping it. Errors wrap ErrMalformed and carry
+	// the line number and the exact byte offset of the offending line.
+	Strict bool
 }
 
 // Reader streams edges from a text edge list.
@@ -34,6 +43,11 @@ type Reader struct {
 	sc   *bufio.Scanner
 	opts Options
 	line int
+	// lineStart / consumed track exact byte offsets through the split
+	// function, so error messages point at the offending line even when
+	// the scanner has buffered far ahead.
+	lineStart int64
+	consumed  int64
 	// queued holds the mirrored edge when Symmetrize is on.
 	queued  *core.Edge
 	skipped int
@@ -46,7 +60,22 @@ func NewReader(r io.Reader, opts Options) *Reader {
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	return &Reader{sc: sc, opts: opts}
+	er := &Reader{sc: sc, opts: opts}
+	sc.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		adv, tok, err := bufio.ScanLines(data, atEOF)
+		if adv > 0 || tok != nil {
+			er.lineStart = er.consumed
+			er.consumed += int64(adv)
+		}
+		return adv, tok, err
+	})
+	return er
+}
+
+// malformed builds a strict-mode rejection tied to the current line.
+func (r *Reader) malformed(line, reason string) error {
+	return fmt.Errorf("edgefile: line %d (byte offset %d): %s: %q: %w",
+		r.line, r.lineStart, reason, line, ErrMalformed)
 }
 
 // Skipped reports how many non-comment lines were skipped as unparsable
@@ -68,12 +97,18 @@ func (r *Reader) Next() (core.Edge, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
+			if r.opts.Strict {
+				return core.Edge{}, r.malformed(line, "want at least 2 columns (src dst [weight])")
+			}
 			r.skipped++
 			continue
 		}
 		src, err1 := strconv.ParseUint(fields[0], 10, 64)
 		dst, err2 := strconv.ParseUint(fields[1], 10, 64)
 		if err1 != nil || err2 != nil {
+			if r.opts.Strict {
+				return core.Edge{}, r.malformed(line, "vertex ids must be unsigned integers")
+			}
 			r.skipped++
 			continue
 		}
@@ -81,10 +116,13 @@ func (r *Reader) Next() (core.Edge, error) {
 		if len(fields) >= 3 {
 			if wf, err := strconv.ParseFloat(fields[2], 32); err == nil {
 				w = float32(wf)
+			} else if r.opts.Strict {
+				return core.Edge{}, r.malformed(line, "weight column must be a float")
 			}
 		}
 		if src < r.opts.Base || dst < r.opts.Base {
-			return core.Edge{}, fmt.Errorf("edgefile: line %d: id below base %d", r.line, r.opts.Base)
+			return core.Edge{}, fmt.Errorf("edgefile: line %d (byte offset %d): id below base %d: %q: %w",
+				r.line, r.lineStart, r.opts.Base, line, ErrMalformed)
 		}
 		e := core.Edge{Src: src - r.opts.Base, Dst: dst - r.opts.Base, Weight: w}
 		if r.opts.Symmetrize && e.Src != e.Dst {
@@ -94,7 +132,7 @@ func (r *Reader) Next() (core.Edge, error) {
 		return e, nil
 	}
 	if err := r.sc.Err(); err != nil {
-		return core.Edge{}, err
+		return core.Edge{}, fmt.Errorf("edgefile: near byte offset %d: %w", r.consumed, err)
 	}
 	return core.Edge{}, io.EOF
 }

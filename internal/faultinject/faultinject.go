@@ -1,0 +1,235 @@
+// Package faultinject provides named failpoints for forcing failures at
+// chosen sites in the durability and ingestion paths: I/O errors, partial
+// writes, delays, and panics. Failpoints are armed programmatically (Set)
+// or through the GT_FAILPOINTS environment variable, so the chaos test
+// suite and the kill/recover integration script can both drive them
+// without rebuilding.
+//
+// The disabled path is deliberately zero-cost: while no failpoint is
+// armed, Inject is a single atomic load and a predictable branch, so
+// production call sites in the WAL fsync path and the shard-apply hot
+// loop pay nothing measurable.
+//
+// Spec grammar (one failpoint): name=kind[(arg)][*count][@skip]
+//
+//	kind  := error | partial | panic | delay(duration)
+//	count := fire at most this many times (default: unlimited)
+//	skip  := pass through the first K matching calls before firing
+//
+// GT_FAILPOINTS holds a ';'-separated list of specs, e.g.
+//
+//	GT_FAILPOINTS="wal/fsync=error*2;ingest/apply=panic@100"
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by an "error"-kind failpoint. Callers
+// treating injected errors as transient should match with errors.Is.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// ErrPartialWrite is the error returned by a "partial"-kind failpoint. The
+// call site is expected to simulate a torn write (emit a truncated record)
+// before surfacing it.
+var ErrPartialWrite = errors.New("faultinject: injected partial write")
+
+// PanicValue is the value panicked with by a "panic"-kind failpoint,
+// wrapped with the failpoint name; containment code can recognize it.
+type PanicValue struct{ Name string }
+
+func (p PanicValue) String() string { return "faultinject: injected panic at " + p.Name }
+
+type kind uint8
+
+const (
+	kindError kind = iota
+	kindPartial
+	kindPanic
+	kindDelay
+)
+
+type point struct {
+	kind      kind
+	delay     time.Duration
+	remaining int64 // -1 = unlimited
+	skip      int64
+	fired     uint64
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+	// armed counts configured failpoints; the Inject fast path only reads
+	// this, keeping the disabled case to one atomic load.
+	armed atomic.Int64
+)
+
+func init() {
+	// Arm from the environment so test binaries and the gtload CLI honor
+	// GT_FAILPOINTS without any wiring. Malformed specs are reported once
+	// and skipped rather than failing startup.
+	if spec := os.Getenv("GT_FAILPOINTS"); spec != "" {
+		if err := Configure(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: GT_FAILPOINTS: %v\n", err)
+		}
+	}
+}
+
+// Enabled reports whether any failpoint is currently armed.
+func Enabled() bool { return armed.Load() != 0 }
+
+// Set arms one failpoint from its spec (the part after "name="). Setting a
+// name that is already armed replaces it.
+func Set(name, spec string) error {
+	p, err := parseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("faultinject: %s: %w", name, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = p
+	return nil
+}
+
+// Clear disarms one failpoint; unknown names are a no-op.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; exists {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int64(len(points)))
+	points = map[string]*point{}
+}
+
+// Configure arms every failpoint in a ';'-separated "name=spec" list (the
+// GT_FAILPOINTS format). The first malformed entry aborts with an error;
+// entries before it stay armed.
+func Configure(list string) error {
+	for _, entry := range strings.Split(list, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("faultinject: entry %q missing '='", entry)
+		}
+		if err := Set(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fired reports how many times the named failpoint has triggered.
+func Fired(name string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// Inject evaluates the named failpoint. With nothing armed it returns nil
+// after one atomic load. An armed matching failpoint, once past its skip
+// budget, fires: "error" returns ErrInjected, "partial" returns
+// ErrPartialWrite, "delay" sleeps then returns nil, and "panic" panics
+// with a PanicValue.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	if p.skip > 0 {
+		p.skip--
+		mu.Unlock()
+		return nil
+	}
+	if p.remaining == 0 {
+		mu.Unlock()
+		return nil
+	}
+	if p.remaining > 0 {
+		p.remaining--
+	}
+	p.fired++
+	k, delay := p.kind, p.delay
+	mu.Unlock()
+
+	switch k {
+	case kindError:
+		return fmt.Errorf("%w (%s)", ErrInjected, name)
+	case kindPartial:
+		return fmt.Errorf("%w (%s)", ErrPartialWrite, name)
+	case kindDelay:
+		time.Sleep(delay)
+		return nil
+	case kindPanic:
+		panic(PanicValue{Name: name})
+	}
+	return nil
+}
+
+// parseSpec parses kind[(arg)][*count][@skip].
+func parseSpec(spec string) (*point, error) {
+	p := &point{remaining: -1}
+	if i := strings.IndexByte(spec, '@'); i >= 0 {
+		n, err := strconv.ParseInt(spec[i+1:], 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad skip %q", spec[i+1:])
+		}
+		p.skip = n
+		spec = spec[:i]
+	}
+	if i := strings.IndexByte(spec, '*'); i >= 0 {
+		n, err := strconv.ParseInt(spec[i+1:], 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", spec[i+1:])
+		}
+		p.remaining = n
+		spec = spec[:i]
+	}
+	switch {
+	case spec == "error":
+		p.kind = kindError
+	case spec == "partial":
+		p.kind = kindPartial
+	case spec == "panic":
+		p.kind = kindPanic
+	case strings.HasPrefix(spec, "delay(") && strings.HasSuffix(spec, ")"):
+		d, err := time.ParseDuration(spec[len("delay(") : len(spec)-1])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad delay %q", spec)
+		}
+		p.kind = kindDelay
+		p.delay = d
+	default:
+		return nil, fmt.Errorf("unknown kind %q", spec)
+	}
+	return p, nil
+}

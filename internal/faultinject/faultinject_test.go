@@ -1,0 +1,126 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("Enabled() with nothing armed")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("Inject with nothing armed: %v", err)
+	}
+}
+
+func TestErrorKindCountAndSkip(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Set("x/y", "error*2@1"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not enabled after Set")
+	}
+	if err := Inject("x/y"); err != nil {
+		t.Fatalf("skip budget not honored: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Inject("x/y"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("fire %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if err := Inject("x/y"); err != nil {
+		t.Fatalf("after count exhausted: %v", err)
+	}
+	if got := Fired("x/y"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestPartialKind(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Set("wal/append-partial", "partial*1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("wal/append-partial"); !errors.Is(err, ErrPartialWrite) {
+		t.Fatalf("got %v, want ErrPartialWrite", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Set("p", "panic*1"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Name != "p" {
+			t.Fatalf("recovered %v, want PanicValue{p}", r)
+		}
+	}()
+	Inject("p")
+	t.Fatal("Inject did not panic")
+}
+
+func TestDelayKind(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Set("d", "delay(10ms)*1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("d"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("delay fired after %v, want >= 10ms", elapsed)
+	}
+}
+
+func TestConfigureList(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Configure("a=error*1; b=delay(1ms) ;; c=panic@5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := Inject("c"); err != nil {
+			t.Fatalf("c skip %d: %v", i, err)
+		}
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, bad := range []string{"noequals", "a=nope", "a=error*0", "a=error@-1", "a=delay(xyz)"} {
+		if err := Configure(bad); err == nil {
+			t.Fatalf("Configure(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClearAndReset(t *testing.T) {
+	Reset()
+	if err := Set("a", "error"); err != nil {
+		t.Fatal(err)
+	}
+	Clear("a")
+	Clear("a") // idempotent
+	if Enabled() {
+		t.Fatal("still enabled after Clear")
+	}
+	if err := Inject("a"); err != nil {
+		t.Fatalf("cleared failpoint fired: %v", err)
+	}
+}

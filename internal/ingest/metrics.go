@@ -22,8 +22,25 @@ type Recorder struct {
 	ApplyLatency *metrics.Histogram
 	// Flushes counts buffer flushes (size-, time- and barrier-triggered).
 	Flushes metrics.Counter
-	// Rejected counts pushes refused under the Reject backpressure policy.
+	// Rejected counts pushes refused under the Reject backpressure policy
+	// or shed with ErrDegraded after durability loss.
 	Rejected metrics.Counter
+	// Retries counts transient-failure retries on WAL appends and shard
+	// applies (bounded by Options.MaxRetries per operation).
+	Retries metrics.Counter
+	// WorkerPanics counts shard-worker panics contained by the pipeline.
+	WorkerPanics metrics.Counter
+	// Dropped counts admitted updates discarded because their shard was
+	// degraded.
+	Dropped metrics.Counter
+	// WALFailures counts coalesced flushes whose WAL append failed past the
+	// retry budget (each one flips the pipeline into WAL-degraded mode).
+	WALFailures metrics.Counter
+	// DegradedShards gauges how many shards are currently dropping.
+	DegradedShards metrics.Gauge
+	// DegradedMode is 1 once any shard or the WAL has degraded, else 0 —
+	// the single alarm bit for dashboards.
+	DegradedMode metrics.Gauge
 }
 
 // BatchSizeBounds are the sub-batch size histogram bounds: powers of two
@@ -54,6 +71,12 @@ type RecorderSnapshot struct {
 	ApplyLatencyNs metrics.HistogramSnapshot `json:"apply_latency_ns"`
 	Flushes        uint64                    `json:"flushes"`
 	Rejected       uint64                    `json:"rejected"`
+	Retries        uint64                    `json:"retries"`
+	WorkerPanics   uint64                    `json:"worker_panics"`
+	Dropped        uint64                    `json:"dropped"`
+	WALFailures    uint64                    `json:"wal_failures"`
+	DegradedShards int64                     `json:"degraded_shards"`
+	DegradedMode   int64                     `json:"degraded_mode"`
 }
 
 // Snapshot copies the recorder's state; a nil recorder yields a zero
@@ -69,5 +92,11 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 		ApplyLatencyNs: r.ApplyLatency.Snapshot(),
 		Flushes:        r.Flushes.Load(),
 		Rejected:       r.Rejected.Load(),
+		Retries:        r.Retries.Load(),
+		WorkerPanics:   r.WorkerPanics.Load(),
+		Dropped:        r.Dropped.Load(),
+		WALFailures:    r.WALFailures.Load(),
+		DegradedShards: r.DegradedShards.Load(),
+		DegradedMode:   r.DegradedMode.Load(),
 	}
 }

@@ -18,10 +18,14 @@ package ingest
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphtinker/internal/core"
+	"graphtinker/internal/faultinject"
+	"graphtinker/internal/wal"
 )
 
 // Update is one streamed mutation (an insert/update or a delete); it is
@@ -65,6 +69,17 @@ var ErrClosed = errors.New("ingest: pipeline closed")
 // in-flight budget is exhausted.
 var ErrBackpressure = errors.New("ingest: pipeline backpressure (queue full)")
 
+// ErrDegraded is returned by pushes once the pipeline has lost its
+// durability guarantee (persistent WAL failure): rather than silently
+// acknowledging updates it can no longer log, the pipeline sheds them.
+// FlushSync also reports it when any shard has been degraded by a
+// contained worker panic, so callers learn the applied state is partial.
+var ErrDegraded = errors.New("ingest: pipeline degraded")
+
+// ErrTimeout is returned when a FlushSync or Close barrier misses the
+// configured FlushTimeout deadline.
+var ErrTimeout = errors.New("ingest: deadline exceeded")
+
 // Options configures a pipeline; zero values select the defaults.
 type Options struct {
 	// MaxBatch is the size-triggered flush threshold: the shared buffer is
@@ -84,6 +99,25 @@ type Options struct {
 	// Recorder, when non-nil, receives queue-depth/batch-size/latency
 	// telemetry.
 	Recorder *Recorder
+	// WAL, when non-nil, makes the pipeline durable: every flush appends
+	// its coalesced batch to the log (in push order, under the pipeline
+	// lock) before handing sub-batches to the shard workers, so the log is
+	// always an exact prefix of the admitted stream. FlushSync and Close
+	// fsync the log at their barrier. The pipeline does not Open or Close
+	// the log; ownership stays with the caller.
+	WAL *wal.Log
+	// FlushTimeout, when positive, bounds how long FlushSync and Close wait
+	// for their barrier before giving up with ErrTimeout (default 0: wait
+	// forever).
+	FlushTimeout time.Duration
+	// MaxRetries bounds transient-failure retries on WAL appends and shard
+	// applies before the pipeline degrades (default 4).
+	MaxRetries int
+	// RetryBase is the first retry backoff; it doubles per attempt with
+	// jitter, capped at 50ms (default 1ms). WAL-append retries sleep under
+	// the pipeline lock, so the worst case stalls admission for roughly
+	// RetryBase × 2^MaxRetries.
+	RetryBase time.Duration
 }
 
 // DefaultMaxBatch is the default size-triggered flush threshold.
@@ -102,6 +136,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxPending <= 0 {
 		o.MaxPending = 8 * o.MaxBatch
 	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 4
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = time.Millisecond
+	}
 	return o
 }
 
@@ -113,6 +153,19 @@ type Totals struct {
 	// removed live edges), as reported by ApplyShard.
 	Inserted uint64 `json:"inserted"`
 	Deleted  uint64 `json:"deleted"`
+	// Dropped counts admitted updates discarded because their shard was
+	// degraded by a contained panic or exhausted apply retries. They are
+	// missing from the in-memory store but — when a WAL is attached — still
+	// in the log, so recovery restores them.
+	Dropped uint64 `json:"dropped"`
+	// Panics counts worker panics contained by the pipeline.
+	Panics uint64 `json:"panics"`
+	// DegradedShards counts shards currently in the degraded (dropping)
+	// state.
+	DegradedShards int `json:"degraded_shards"`
+	// WALDegraded reports that WAL appends were abandoned after persistent
+	// failure; pushes are shed with ErrDegraded once this is set.
+	WALDegraded bool `json:"wal_degraded"`
 }
 
 // job is one unit handed to a shard worker: either an ordered sub-batch or
@@ -173,6 +226,15 @@ func (q *shardQueue) close() {
 	q.mu.Unlock()
 }
 
+// abort closes the queue and discards its backlog — the crash path.
+func (q *shardQueue) abort() {
+	q.mu.Lock()
+	q.jobs = nil
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
 // Pipeline is the streaming coalescer; see the package comment for the
 // ordering/consistency model. All methods are safe for concurrent use.
 type Pipeline struct {
@@ -190,12 +252,22 @@ type Pipeline struct {
 	queues  []*shardQueue
 	workers sync.WaitGroup
 
+	// degraded[i] marks shard i as dropping (contained panic or exhausted
+	// apply retries); degradedShards is the count, walDegraded the
+	// pipeline-wide durability loss flag.
+	degraded       []atomic.Bool
+	degradedShards atomic.Int32
+	closeDone      chan struct{} // closed once shutdown (Close/Abort) finishes
+	closeTotals    Totals
+	walDegraded    atomic.Bool
+
 	timerStop chan struct{}
 	timerDone chan struct{}
 
 	totals struct {
 		mu                sync.Mutex
 		inserted, deleted uint64
+		dropped, panics   uint64
 	}
 }
 
@@ -207,10 +279,12 @@ func New(target Target, opts Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("ingest: target reports %d shards", n)
 	}
 	p := &Pipeline{
-		target: target,
-		opts:   opts.withDefaults(),
-		rec:    opts.Recorder,
-		queues: make([]*shardQueue, n),
+		target:    target,
+		opts:      opts.withDefaults(),
+		rec:       opts.Recorder,
+		queues:    make([]*shardQueue, n),
+		degraded:  make([]atomic.Bool, n),
+		closeDone: make(chan struct{}),
 	}
 	p.notFull.L = &p.mu
 	for i := range p.queues {
@@ -257,6 +331,12 @@ func (p *Pipeline) PushBatch(ops []Update) error {
 	if p.closed {
 		return ErrClosed
 	}
+	if p.walDegraded.Load() {
+		// Durability is gone; shed rather than acknowledge updates the
+		// pipeline can no longer log (regardless of backpressure policy).
+		p.rec.rejected()
+		return ErrDegraded
+	}
 	if p.opts.Policy == Reject && p.opts.MaxPending-p.pending < len(ops) {
 		// Hand whatever is buffered to the workers so the backlog drains
 		// even if the caller never pushes again, then fail fast.
@@ -299,11 +379,26 @@ func (r *Recorder) rejected() {
 	}
 }
 
-// flushLocked partitions the buffer into per-shard ordered sub-batches and
-// hands them to the shard queues. Caller holds p.mu.
+// flushLocked appends the buffer to the WAL (if any), then partitions it
+// into per-shard ordered sub-batches and hands them to the shard queues.
+// Caller holds p.mu — which is what makes the WAL an exact prefix of the
+// admitted stream: appends happen in push order with no interleaving.
 func (p *Pipeline) flushLocked() {
 	if len(p.buf) == 0 {
 		return
+	}
+	if p.opts.WAL != nil && !p.walDegraded.Load() {
+		if err := p.appendWAL(p.buf); err != nil {
+			// Persistent WAL failure: durability is lost from here on.
+			// Keep applying the already-admitted tail in memory so reads
+			// stay coherent, but flip the degraded flag so new pushes are
+			// shed with ErrDegraded instead of silently acknowledged.
+			p.walDegraded.Store(true)
+			if p.rec != nil {
+				p.rec.WALFailures.Inc()
+				p.rec.DegradedMode.Set(1)
+			}
+		}
 	}
 	now := time.Now()
 	n := len(p.queues)
@@ -351,7 +446,10 @@ func (p *Pipeline) runTimer() {
 	}
 }
 
-// runWorker drains one shard's queue until it is closed and empty.
+// runWorker drains one shard's queue until it is closed and empty. A
+// worker never dies: panics are contained per job, so a poisoned shard
+// degrades (drops its ops) while the worker keeps acking barriers — Flush
+// and Close complete, and every other shard stays live.
 func (p *Pipeline) runWorker(shard int) {
 	defer p.workers.Done()
 	q := p.queues[shard]
@@ -364,36 +462,170 @@ func (p *Pipeline) runWorker(shard int) {
 			j.ack <- struct{}{}
 			continue
 		}
-		start := time.Now()
-		ins, del := p.target.ApplyShard(shard, j.ops)
-		if p.rec != nil {
-			done := time.Now()
-			p.rec.ApplyLatency.ObserveDuration(done.Sub(start))
-			p.rec.FlushLatency.ObserveDuration(done.Sub(j.at))
-			p.rec.BatchSize.Observe(uint64(len(j.ops)))
+		if p.degraded[shard].Load() {
+			p.dropJob(j)
+			continue
 		}
-		p.totals.mu.Lock()
-		p.totals.inserted += uint64(ins)
-		p.totals.deleted += uint64(del)
-		p.totals.mu.Unlock()
-		p.mu.Lock()
-		p.pending -= len(j.ops)
-		if p.rec != nil {
-			p.rec.QueueDepth.Set(int64(p.pending))
-		}
-		p.notFull.Broadcast()
-		p.mu.Unlock()
+		p.applyJob(shard, j)
 	}
+}
+
+// applyJob applies one sub-batch, containing panics: a panicking shard is
+// marked degraded and the job's ops counted dropped (pending is still
+// released, so barriers and blocked pushers never hang on a dead shard).
+// When a WAL is attached the dropped ops are already logged, so recovery
+// repairs the loss.
+func (p *Pipeline) applyJob(shard int, j job) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.markDegraded(shard)
+			p.totals.mu.Lock()
+			p.totals.panics++
+			p.totals.mu.Unlock()
+			if p.rec != nil {
+				p.rec.WorkerPanics.Inc()
+			}
+			p.dropJob(j)
+		}
+	}()
+	start := time.Now()
+	ins, del, err := p.applyShard(shard, j.ops)
+	if err != nil {
+		p.markDegraded(shard)
+		p.dropJob(j)
+		return
+	}
+	if p.rec != nil {
+		done := time.Now()
+		p.rec.ApplyLatency.ObserveDuration(done.Sub(start))
+		p.rec.FlushLatency.ObserveDuration(done.Sub(j.at))
+		p.rec.BatchSize.Observe(uint64(len(j.ops)))
+	}
+	p.totals.mu.Lock()
+	p.totals.inserted += uint64(ins)
+	p.totals.deleted += uint64(del)
+	p.totals.mu.Unlock()
+	p.release(len(j.ops))
+}
+
+// applyShard runs the target apply with bounded retries against the
+// "ingest/apply" failpoint (the injection hook for transient shard
+// failures); exhausted retries degrade the shard via applyJob's error path.
+func (p *Pipeline) applyShard(shard int, ops []Update) (int, int, error) {
+	for attempt := 0; ; attempt++ {
+		if err := faultinject.Inject("ingest/apply"); err != nil {
+			if attempt >= p.opts.MaxRetries {
+				return 0, 0, fmt.Errorf("ingest: shard %d apply failed after %d attempts: %w", shard, attempt+1, err)
+			}
+			if p.rec != nil {
+				p.rec.Retries.Inc()
+			}
+			p.backoff(attempt)
+			continue
+		}
+		ins, del := p.target.ApplyShard(shard, ops)
+		return ins, del, nil
+	}
+}
+
+// appendWAL appends one coalesced flush with bounded retries. Sticky log
+// failures (ErrFailed: possibly torn tail, appending would corrupt;
+// ErrClosed) are not retried. Caller holds p.mu, so backoff sleeps stall
+// admission — bounded by MaxRetries doublings of RetryBase.
+func (p *Pipeline) appendWAL(ops []Update) error {
+	for attempt := 0; ; attempt++ {
+		_, err := p.opts.WAL.Append(ops)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, wal.ErrFailed) || errors.Is(err, wal.ErrClosed) || attempt >= p.opts.MaxRetries {
+			return err
+		}
+		if p.rec != nil {
+			p.rec.Retries.Inc()
+		}
+		p.backoff(attempt)
+	}
+}
+
+// backoff sleeps 2^attempt × RetryBase (capped at 50ms) with half-width
+// jitter so concurrent retriers decorrelate.
+func (p *Pipeline) backoff(attempt int) {
+	d := p.opts.RetryBase << uint(attempt)
+	if max := 50 * time.Millisecond; d > max || d <= 0 {
+		d = max
+	}
+	time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d/2)+1)))
+}
+
+// markDegraded flips shard into the dropping state (idempotently).
+func (p *Pipeline) markDegraded(shard int) {
+	if p.degraded[shard].CompareAndSwap(false, true) {
+		n := p.degradedShards.Add(1)
+		if p.rec != nil {
+			p.rec.DegradedShards.Set(int64(n))
+			p.rec.DegradedMode.Set(1)
+		}
+	}
+}
+
+// dropJob discards a job's ops (degraded shard) while still releasing
+// their admission budget.
+func (p *Pipeline) dropJob(j job) {
+	p.totals.mu.Lock()
+	p.totals.dropped += uint64(len(j.ops))
+	p.totals.mu.Unlock()
+	if p.rec != nil {
+		p.rec.Dropped.Add(uint64(len(j.ops)))
+	}
+	p.release(len(j.ops))
+}
+
+// release returns n updates' worth of admission budget.
+func (p *Pipeline) release(n int) {
+	p.mu.Lock()
+	p.pending -= n
+	if p.rec != nil {
+		p.rec.QueueDepth.Set(int64(p.pending))
+	}
+	p.notFull.Broadcast()
+	p.mu.Unlock()
 }
 
 // Flush is the read-your-writes barrier: it flushes the buffer and returns
 // once every update admitted before the call has been applied to its
 // shard. Concurrent pushes may land behind the barrier; they are not
 // waited for. Calling Flush on a closed pipeline returns immediately.
-func (p *Pipeline) Flush() {
+// Flush ignores failures; durability-sensitive callers use FlushSync.
+func (p *Pipeline) Flush() { _ = p.FlushSync() }
+
+// FlushSync is Flush with the failure surface exposed: it additionally
+// fsyncs the WAL (if attached) once the barrier completes — the
+// acknowledged-means-durable point — and reports ErrTimeout when the
+// barrier misses FlushTimeout, the WAL sync error, or ErrDegraded when a
+// shard or the WAL has degraded (the applied state is partial / the log
+// has stopped).
+func (p *Pipeline) FlushSync() error {
 	p.mu.Lock()
 	p.flushLocked()
 	p.mu.Unlock()
+	if err := p.barrier(p.opts.FlushTimeout); err != nil {
+		return err
+	}
+	if p.opts.WAL != nil && !p.walDegraded.Load() {
+		if err := p.opts.WAL.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			return fmt.Errorf("ingest: flush: wal sync: %w", err)
+		}
+	}
+	if p.walDegraded.Load() || p.degradedShards.Load() > 0 {
+		return ErrDegraded
+	}
+	return nil
+}
+
+// barrier pushes an ack job down every live queue and waits for the acks,
+// bounded by timeout when positive.
+func (p *Pipeline) barrier(timeout time.Duration) error {
 	ack := make(chan struct{}, len(p.queues))
 	sent := 0
 	for _, q := range p.queues {
@@ -401,9 +633,20 @@ func (p *Pipeline) Flush() {
 			sent++
 		}
 	}
-	for i := 0; i < sent; i++ {
-		<-ack
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
 	}
+	for i := 0; i < sent; i++ {
+		select {
+		case <-ack:
+		case <-deadline:
+			return fmt.Errorf("ingest: flush barrier (%d/%d shards): %w", i, sent, ErrTimeout)
+		}
+	}
+	return nil
 }
 
 // Pending reports updates admitted but not yet applied.
@@ -421,17 +664,31 @@ func (p *Pipeline) Totals() Totals {
 	p.mu.Unlock()
 	p.totals.mu.Lock()
 	defer p.totals.mu.Unlock()
-	return Totals{Pushed: pushed, Inserted: p.totals.inserted, Deleted: p.totals.deleted}
+	return Totals{
+		Pushed:         pushed,
+		Inserted:       p.totals.inserted,
+		Deleted:        p.totals.deleted,
+		Dropped:        p.totals.dropped,
+		Panics:         p.totals.panics,
+		DegradedShards: int(p.degradedShards.Load()),
+		WALDegraded:    p.walDegraded.Load(),
+	}
 }
 
 // Close drains everything admitted so far, stops the timer and the
-// workers, and returns the final totals. Blocked pushers are released with
-// ErrClosed. Close is idempotent; later calls return ErrClosed.
+// workers, fsyncs the WAL (if attached), and returns the final totals.
+// Blocked pushers are released with ErrClosed. Close is idempotent and
+// safe under concurrency: the first caller performs the shutdown, every
+// later (or concurrent) caller blocks until that shutdown finishes and
+// then gets the same final totals plus ErrClosed. A positive FlushTimeout
+// bounds the drain; on ErrTimeout the workers are left to finish in the
+// background and the totals are a snapshot.
 func (p *Pipeline) Close() (Totals, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		return p.Totals(), ErrClosed
+		<-p.closeDone
+		return p.closeTotals, ErrClosed
 	}
 	p.closed = true
 	p.flushLocked()
@@ -444,6 +701,54 @@ func (p *Pipeline) Close() (Totals, error) {
 	for _, q := range p.queues {
 		q.close()
 	}
+	var err error
+	if p.opts.FlushTimeout > 0 {
+		drained := make(chan struct{})
+		go func() { p.workers.Wait(); close(drained) }()
+		t := time.NewTimer(p.opts.FlushTimeout)
+		defer t.Stop()
+		select {
+		case <-drained:
+		case <-t.C:
+			err = fmt.Errorf("ingest: close drain: %w", ErrTimeout)
+		}
+	} else {
+		p.workers.Wait()
+	}
+	if err == nil && p.opts.WAL != nil && !p.walDegraded.Load() {
+		if serr := p.opts.WAL.Sync(); serr != nil && !errors.Is(serr, wal.ErrClosed) {
+			err = fmt.Errorf("ingest: close: wal sync: %w", serr)
+		}
+	}
+	p.closeTotals = p.Totals()
+	close(p.closeDone)
+	return p.closeTotals, err
+}
+
+// Abort shuts the pipeline down without draining: the coalescing buffer
+// and every queued sub-batch are discarded, workers exit after at most one
+// in-flight job, and blocked pushers are released with ErrClosed. The WAL,
+// if any, is left exactly as-is — not flushed, not synced — so Abort plus
+// wal.Log.Crash models a process killed mid-stream for the chaos suite.
+func (p *Pipeline) Abort() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.closeDone
+		return
+	}
+	p.closed = true
+	p.buf = p.buf[:0]
+	p.notFull.Broadcast()
+	p.mu.Unlock()
+	if p.timerStop != nil {
+		close(p.timerStop)
+		<-p.timerDone
+	}
+	for _, q := range p.queues {
+		q.abort()
+	}
 	p.workers.Wait()
-	return p.Totals(), nil
+	p.closeTotals = p.Totals()
+	close(p.closeDone)
 }

@@ -1,0 +1,124 @@
+package stinger
+
+// Sharded snapshot serialization for the STINGER baseline, mirroring
+// core.Parallel's format so the durability layer's differential-parity
+// tests can checkpoint and recover both stores from the same op stream.
+// STINGER's Parallel has no per-shard locks (its contract is that callers
+// quiesce writers), so the caller must not mutate during WriteSnapshot.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// parallelSnapshotMagic identifies the format ("STPS").
+const (
+	parallelSnapshotMagic   = uint32(0x53545053)
+	parallelSnapshotVersion = uint16(1)
+)
+
+// WriteSnapshot serializes the configuration, shard count, and every
+// shard's live edges to w.
+func (p *Parallel) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+
+	var head [10]byte
+	le.PutUint32(head[0:], parallelSnapshotMagic)
+	le.PutUint16(head[4:], parallelSnapshotVersion)
+	le.PutUint32(head[6:], uint32(len(p.shards)))
+	if _, err := bw.Write(head[:]); err != nil {
+		return fmt.Errorf("stinger: parallel snapshot header: %w", err)
+	}
+	var buf [8]byte
+	cfg := p.shards[0].cfg
+	for _, f := range []uint64{uint64(cfg.EdgesPerBlock), uint64(cfg.InitialVertexCapacity)} {
+		le.PutUint64(buf[:], f)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("stinger: parallel snapshot config: %w", err)
+		}
+	}
+
+	var rec [20]byte
+	for i, s := range p.shards {
+		le.PutUint64(buf[:], s.NumEdges())
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("stinger: parallel snapshot shard %d: %w", i, err)
+		}
+		var werr error
+		s.ForEachEdge(func(src, dst uint64, weight float32) bool {
+			le.PutUint64(rec[0:], src)
+			le.PutUint64(rec[8:], dst)
+			le.PutUint32(rec[16:], math.Float32bits(weight))
+			if _, err := bw.Write(rec[:]); err != nil {
+				werr = err
+				return false
+			}
+			return true
+		})
+		if werr != nil {
+			return fmt.Errorf("stinger: parallel snapshot shard %d: %w", i, werr)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadParallelSnapshot reconstructs a sharded STINGER store from a
+// snapshot produced by Parallel.WriteSnapshot. Truncated or corrupt input
+// fails with a wrapped error naming the shard and byte offset.
+func ReadParallelSnapshot(r io.Reader) (*Parallel, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var off int64
+	read := func(p []byte) error {
+		n, err := io.ReadFull(br, p)
+		off += int64(n)
+		return err
+	}
+
+	var head [10]byte
+	if err := read(head[:]); err != nil {
+		return nil, fmt.Errorf("stinger: parallel snapshot header truncated at byte offset %d: %w", off, err)
+	}
+	if le.Uint32(head[0:]) != parallelSnapshotMagic {
+		return nil, fmt.Errorf("stinger: not a sharded STINGER snapshot")
+	}
+	if v := le.Uint16(head[4:]); v != parallelSnapshotVersion {
+		return nil, fmt.Errorf("stinger: unsupported parallel snapshot version %d", v)
+	}
+	shards := int(le.Uint32(head[6:]))
+	if shards <= 0 || shards > 1<<16 {
+		return nil, fmt.Errorf("stinger: parallel snapshot declares implausible shard count %d", shards)
+	}
+	var buf [8]byte
+	if err := read(buf[:]); err != nil {
+		return nil, fmt.Errorf("stinger: parallel snapshot config truncated at byte offset %d: %w", off, err)
+	}
+	cfg := Config{EdgesPerBlock: int(le.Uint64(buf[:]))}
+	if err := read(buf[:]); err != nil {
+		return nil, fmt.Errorf("stinger: parallel snapshot config truncated at byte offset %d: %w", off, err)
+	}
+	cfg.InitialVertexCapacity = int(le.Uint64(buf[:]))
+
+	p, err := NewParallel(cfg, shards)
+	if err != nil {
+		return nil, fmt.Errorf("stinger: parallel snapshot config invalid: %w", err)
+	}
+	var rec [20]byte
+	for s := 0; s < shards; s++ {
+		if err := read(buf[:]); err != nil {
+			return nil, fmt.Errorf("stinger: parallel snapshot shard %d edge count truncated at byte offset %d: %w", s, off, err)
+		}
+		count := le.Uint64(buf[:])
+		for i := uint64(0); i < count; i++ {
+			if err := read(rec[:]); err != nil {
+				return nil, fmt.Errorf("stinger: parallel snapshot shard %d edge %d of %d truncated at byte offset %d: %w", s, i, count, off, err)
+			}
+			p.shards[s].InsertEdge(le.Uint64(rec[0:]), le.Uint64(rec[8:]), math.Float32frombits(le.Uint32(rec[16:])))
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,68 @@
+package stinger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParallelSnapshotRoundTrip(t *testing.T) {
+	p, err := NewParallel(DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []Edge
+	s := uint64(5)
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < 3000; i++ {
+		edges = append(edges, Edge{Src: next() % 400, Dst: next() % 400, Weight: float32(next()%50) / 5})
+	}
+	p.InsertBatch(edges)
+	p.DeleteBatch(edges[:500])
+
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParallelSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != p.NumEdges() {
+		t.Fatalf("restored %d edges, want %d", got.NumEdges(), p.NumEdges())
+	}
+	mismatch := false
+	p.ForEachEdge(func(src, dst uint64, w float32) bool {
+		gw, ok := got.FindEdge(src, dst)
+		if !ok || gw != w {
+			mismatch = true
+			return false
+		}
+		return true
+	})
+	if mismatch {
+		t.Fatal("restored STINGER store diverged from the original")
+	}
+}
+
+func TestParallelSnapshotTruncated(t *testing.T) {
+	p, err := NewParallel(DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InsertBatch([]Edge{{Src: 1, Dst: 2, Weight: 3}, {Src: 4, Dst: 5, Weight: 6}})
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadParallelSnapshot(bytes.NewReader(full[:len(full)-5])); err == nil ||
+		!strings.Contains(err.Error(), "truncated at byte offset") {
+		t.Fatalf("truncated snapshot: %v, want byte-offset error", err)
+	}
+}

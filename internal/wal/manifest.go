@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the manifest's file name inside a durability directory.
+const ManifestName = "MANIFEST.json"
+
+// Manifest ties one snapshot to a WAL position: recovery loads Snapshot,
+// then replays the log from LastLSN. It is written atomically (temp file +
+// rename), so a crash mid-checkpoint leaves the previous manifest intact.
+type Manifest struct {
+	// Snapshot is the snapshot file name, relative to the manifest's
+	// directory.
+	Snapshot string `json:"snapshot"`
+	// LastLSN is the op count the snapshot covers: every op with LSN <
+	// LastLSN is reflected in the snapshot and must not be replayed.
+	LastLSN uint64 `json:"last_lsn"`
+	// SnapshotCRC/SnapshotBytes validate the snapshot file on load.
+	SnapshotCRC   uint32 `json:"snapshot_crc32c"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	// Shards records the sharded store's width (1 for a session graph).
+	Shards int `json:"shards"`
+}
+
+// WriteManifest atomically installs m as dir's manifest.
+func WriteManifest(dir string, m Manifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(raw, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: manifest: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadManifest reads dir's manifest; ok is false when none exists.
+func LoadManifest(dir string) (m Manifest, ok bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return Manifest{}, false, nil
+		}
+		return Manifest{}, false, fmt.Errorf("wal: manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("wal: manifest: %w", err)
+	}
+	return m, true, nil
+}
+
+// FileCRC computes the CRC32-C and size of a file — the snapshot
+// validation pair stored in the manifest.
+func FileCRC(path string) (uint32, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	h := crc32.New(castagnoli)
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return 0, 0, err
+	}
+	return h.Sum32(), n, nil
+}
+
+// syncDir fsyncs a directory so a rename into it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

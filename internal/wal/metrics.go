@@ -1,0 +1,72 @@
+package wal
+
+import "graphtinker/internal/metrics"
+
+// Recorder bundles the log's observability instruments on the race-clean
+// internal/metrics layer. All fields are safe for concurrent use; a nil
+// *Recorder is a valid no-op sink.
+type Recorder struct {
+	// FsyncLatency observes nanoseconds per fsync — the group-commit cost
+	// the sync policy trades against durability lag.
+	FsyncLatency *metrics.Histogram
+	// Fsyncs counts fsync calls that actually hit the disk.
+	Fsyncs metrics.Counter
+	// AppendedRecords / AppendedOps / AppendedBytes count accepted work.
+	AppendedRecords metrics.Counter
+	AppendedOps     metrics.Counter
+	AppendedBytes   metrics.Counter
+	// SegmentBytes gauges the active segment's current size.
+	SegmentBytes metrics.Gauge
+	// SegmentsCreated / SegmentsPruned count rotation and checkpoint
+	// pruning.
+	SegmentsCreated metrics.Counter
+	SegmentsPruned  metrics.Counter
+	// ReplayedRecords / ReplayedOps count recovery replay work.
+	ReplayedRecords metrics.Counter
+	ReplayedOps     metrics.Counter
+	// TruncatedBytes counts bytes discarded by torn-tail truncation on
+	// Open.
+	TruncatedBytes metrics.Counter
+}
+
+// NewRecorder builds a recorder with the default bounds.
+func NewRecorder() *Recorder {
+	return &Recorder{FsyncLatency: metrics.NewHistogram(metrics.LatencyBounds())}
+}
+
+// RecorderSnapshot is the JSON form of a Recorder — the "wal" section of
+// cmd/gtload's -metrics-out document.
+type RecorderSnapshot struct {
+	FsyncLatencyNs  metrics.HistogramSnapshot `json:"fsync_latency_ns"`
+	Fsyncs          uint64                    `json:"fsyncs"`
+	AppendedRecords uint64                    `json:"appended_records"`
+	AppendedOps     uint64                    `json:"appended_ops"`
+	AppendedBytes   uint64                    `json:"appended_bytes"`
+	SegmentBytes    int64                     `json:"segment_bytes"`
+	SegmentsCreated uint64                    `json:"segments_created"`
+	SegmentsPruned  uint64                    `json:"segments_pruned"`
+	ReplayedRecords uint64                    `json:"replayed_records"`
+	ReplayedOps     uint64                    `json:"replayed_ops"`
+	TruncatedBytes  uint64                    `json:"truncated_bytes"`
+}
+
+// Snapshot copies the recorder's state; a nil recorder yields a zero
+// snapshot.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	if r == nil {
+		return RecorderSnapshot{}
+	}
+	return RecorderSnapshot{
+		FsyncLatencyNs:  r.FsyncLatency.Snapshot(),
+		Fsyncs:          r.Fsyncs.Load(),
+		AppendedRecords: r.AppendedRecords.Load(),
+		AppendedOps:     r.AppendedOps.Load(),
+		AppendedBytes:   r.AppendedBytes.Load(),
+		SegmentBytes:    r.SegmentBytes.Load(),
+		SegmentsCreated: r.SegmentsCreated.Load(),
+		SegmentsPruned:  r.SegmentsPruned.Load(),
+		ReplayedRecords: r.ReplayedRecords.Load(),
+		ReplayedOps:     r.ReplayedOps.Load(),
+		TruncatedBytes:  r.TruncatedBytes.Load(),
+	}
+}

@@ -1,0 +1,187 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"graphtinker/internal/core"
+)
+
+// tailError reports a segment whose tail could not be validated: a torn or
+// corrupt record at goodEnd. Open truncates to goodEnd when the segment is
+// the last one; anywhere else it is unrecoverable corruption.
+type tailError struct {
+	path    string
+	goodEnd int64  // byte offset of the last whole valid record's end
+	size    int64  // file size when scanned
+	nextLSN uint64 // LSN after the last valid record
+	reason  string
+}
+
+func (e *tailError) Error() string {
+	return fmt.Sprintf("wal: %s: %s at byte offset %d: %v", e.path, e.reason, e.goodEnd, ErrCorrupt)
+}
+
+func (e *tailError) Unwrap() error { return ErrCorrupt }
+
+// scanSegment validates one segment file, optionally streaming each
+// record's decoded ops to fn. It returns the byte offset after the last
+// valid record and the next LSN. A torn/corrupt tail is reported as a
+// *tailError carrying how much of the file is good.
+func scanSegment(path string, wantFirstLSN uint64, fn func(firstLSN uint64, ops []core.EdgeOp) error) (end int64, nextLSN uint64, records int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: stat segment: %w", err)
+	}
+	size := st.Size()
+	le := binary.LittleEndian
+
+	var head [headerSize]byte
+	if _, rerr := io.ReadFull(f, head[:]); rerr != nil {
+		return 0, 0, 0, &tailError{path: path, goodEnd: 0, size: size, nextLSN: wantFirstLSN, reason: "torn segment header"}
+	}
+	if le.Uint32(head[0:]) != segMagic {
+		return 0, 0, 0, fmt.Errorf("wal: %s: bad magic: %w", path, ErrCorrupt)
+	}
+	if v := le.Uint16(head[4:]); v != segVersion {
+		return 0, 0, 0, fmt.Errorf("wal: %s: unsupported version %d: %w", path, v, ErrCorrupt)
+	}
+	if got := le.Uint64(head[8:]); got != wantFirstLSN {
+		return 0, 0, 0, fmt.Errorf("wal: %s: header LSN %d does not match name LSN %d: %w", path, got, wantFirstLSN, ErrCorrupt)
+	}
+
+	end = headerSize
+	nextLSN = wantFirstLSN
+	var rh [recordHeaderSize]byte
+	for {
+		if _, rerr := io.ReadFull(f, rh[:]); rerr != nil {
+			if rerr == io.EOF {
+				return end, nextLSN, records, nil
+			}
+			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: "torn record header"}
+		}
+		plen := le.Uint32(rh[0:])
+		crc := le.Uint32(rh[4:])
+		if plen < recordMetaSize || plen > recordMetaSize+opSize*MaxRecordOps {
+			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: fmt.Sprintf("implausible record length %d", plen)}
+		}
+		payload := make([]byte, plen)
+		if _, rerr := io.ReadFull(f, payload); rerr != nil {
+			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: "torn record payload"}
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: "record checksum mismatch"}
+		}
+		firstLSN, ops, derr := decodePayload(payload)
+		if derr != nil {
+			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: derr.Error()}
+		}
+		if firstLSN != nextLSN {
+			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: fmt.Sprintf("record LSN %d, want %d", firstLSN, nextLSN)}
+		}
+		if fn != nil {
+			if err := fn(firstLSN, ops); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		end += recordHeaderSize + int64(plen)
+		nextLSN += uint64(len(ops))
+		records++
+	}
+}
+
+// decodePayload parses a record payload back into its first LSN and ops.
+func decodePayload(payload []byte) (uint64, []core.EdgeOp, error) {
+	le := binary.LittleEndian
+	if len(payload) < recordMetaSize {
+		return 0, nil, errors.New("short record payload")
+	}
+	firstLSN := le.Uint64(payload[0:])
+	count := le.Uint32(payload[8:])
+	if count > MaxRecordOps {
+		return 0, nil, fmt.Errorf("implausible op count %d", count)
+	}
+	if want := recordMetaSize + opSize*int(count); len(payload) != want {
+		return 0, nil, fmt.Errorf("payload is %d bytes, want %d for %d ops", len(payload), want, count)
+	}
+	ops := make([]core.EdgeOp, count)
+	off := recordMetaSize
+	for i := range ops {
+		flags := payload[off]
+		if flags > 1 {
+			return 0, nil, fmt.Errorf("op %d: bad flags %#x", i, flags)
+		}
+		ops[i] = core.EdgeOp{
+			Edge: core.Edge{
+				Src:    le.Uint64(payload[off+1:]),
+				Dst:    le.Uint64(payload[off+9:]),
+				Weight: floatFrom(le.Uint32(payload[off+17:])),
+			},
+			Del: flags == 1,
+		}
+		off += opSize
+	}
+	return firstLSN, ops, nil
+}
+
+// Replay streams the log's ops at or beyond fromLSN, in order, to fn. A
+// record straddling fromLSN is applied from its offset — never twice, the
+// property that makes snapshot + tail replay idempotent. A torn tail on
+// the last segment ends the replay cleanly (Open would truncate it);
+// corruption anywhere else returns an error wrapping ErrCorrupt. It
+// returns the LSN after the last replayed op.
+func Replay(dir string, fromLSN uint64, rec *Recorder, fn func(lsn uint64, ops []core.EdgeOp) error) (uint64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return fromLSN, err
+	}
+	next := fromLSN
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		_, segNext, _, err := scanSegment(seg.path, seg.firstLSN, func(firstLSN uint64, ops []core.EdgeOp) error {
+			opsEnd := firstLSN + uint64(len(ops))
+			if opsEnd <= fromLSN {
+				return nil // wholly before the checkpoint: skip, never re-apply
+			}
+			if firstLSN < fromLSN {
+				ops = ops[fromLSN-firstLSN:] // straddling record: apply the tail only
+				firstLSN = fromLSN
+			}
+			if rec != nil {
+				rec.ReplayedRecords.Inc()
+				rec.ReplayedOps.Add(uint64(len(ops)))
+			}
+			if err := fn(firstLSN, ops); err != nil {
+				return err
+			}
+			next = opsEnd
+			return nil
+		})
+		if err != nil {
+			var terr *tailError
+			if last && errors.As(err, &terr) {
+				// Torn tail: everything before it already streamed.
+				return next, nil
+			}
+			return next, err
+		}
+		if segNext > next && segNext > fromLSN {
+			next = segNext
+		}
+	}
+	return next, nil
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func floatFrom(b uint32) float32 { return math.Float32frombits(b) }

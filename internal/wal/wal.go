@@ -1,0 +1,505 @@
+// Package wal is a segmented, checksummed write-ahead log of edge
+// operations — the durability substrate under the streaming ingestion
+// pipeline and the session batch path.
+//
+// Model: the log is an ordered sequence of edge ops, numbered by LSN
+// (log sequence number = the global index of an op in the stream). Each
+// Append writes one record holding a contiguous op run [firstLSN,
+// firstLSN+count). Records carry a CRC32-C over their payload, so torn or
+// corrupt tails are detected and truncated on Open; a record is either
+// wholly durable or not in the log at all. Because appends happen in
+// stream order, the log's content is always an exact prefix of the
+// acknowledged op stream — the invariant recovery and the chaos
+// differential tests lean on.
+//
+// Durability: Append buffers; data is durable only after fsync. The sync
+// policy is group commit — SyncInterval > 0 runs a background flusher so
+// appends amortize one fsync per interval, SyncInterval == 0 syncs every
+// append, and SyncInterval < 0 syncs only on explicit Sync/Close (callers
+// then sync at their acknowledgment barrier).
+//
+// Layout: dir/<firstLSN as %016x>.wal segments, rotated at SegmentBytes;
+// Prune removes segments wholly below a checkpoint LSN.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/faultinject"
+)
+
+const (
+	segMagic   = uint32(0x4754574c) // "GTWL"
+	segVersion = uint16(1)
+	// headerSize is the segment header: magic u32, version u16, reserved
+	// u16, firstLSN u64.
+	headerSize = 16
+	// recordHeaderSize prefixes every record: payload length u32, CRC32-C
+	// of the payload u32.
+	recordHeaderSize = 8
+	// recordMetaSize leads every payload: firstLSN u64, op count u32.
+	recordMetaSize = 12
+	// opSize is one encoded op: flags u8, src u64, dst u64, weight u32.
+	opSize = 21
+
+	segSuffix = ".wal"
+)
+
+// DefaultSegmentBytes is the default rotation threshold.
+const DefaultSegmentBytes = 16 << 20
+
+// MaxRecordOps bounds ops per record; callers split larger appends. The
+// bound keeps replay allocations sane in the face of corrupt length
+// fields.
+const MaxRecordOps = 1 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCorrupt reports corruption that torn-tail truncation cannot repair —
+// a bad record in the interior of the log (not the last segment's tail).
+var ErrCorrupt = errors.New("wal: corrupt segment")
+
+// ErrFailed reports a log whose tail may be torn by an earlier failed
+// write. Appending past a torn tail would bury the tear in the interior of
+// the segment, turning a recoverable truncation into unrecoverable
+// corruption — so once a write may have landed partially, the log refuses
+// further appends. Recovery path: Close (or Crash) and Open again; Open
+// truncates the tear.
+var ErrFailed = errors.New("wal: log failed (possibly torn tail); reopen to recover")
+
+// Options configures a log; zero values select the defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 16 MiB).
+	SegmentBytes int64
+	// SyncInterval selects the group-commit policy: 0 syncs every append,
+	// > 0 runs a background flusher at that period, < 0 syncs only on
+	// explicit Sync/Close.
+	SyncInterval time.Duration
+	// Recorder, when non-nil, receives fsync-latency/segment-byte/replay
+	// telemetry.
+	Recorder *Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+	rec  *Recorder
+
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	segStart uint64 // first LSN of the current segment
+	segBytes int64
+	nextLSN  uint64
+	dirty    bool
+	closed   bool
+	failed   bool // a write may have landed partially; appends refused
+
+	stop, done chan struct{} // background flusher lifecycle (nil when none)
+}
+
+// Open opens (or creates) the log in dir, scanning existing segments to
+// validate checksums, truncate any torn tail on the last segment, and
+// position the next append after the last durable record.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, rec: opts.Recorder}
+
+	// Validate every segment; only the last may have a torn tail.
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		end, next, _, err := scanSegment(seg.path, seg.firstLSN, nil)
+		if err != nil {
+			if !last {
+				return nil, err
+			}
+			// Torn tail: truncate back to the last whole record.
+			var serr *tailError
+			if !errors.As(err, &serr) {
+				return nil, err
+			}
+			if terr := os.Truncate(seg.path, serr.goodEnd); terr != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, terr)
+			}
+			if l.rec != nil {
+				l.rec.TruncatedBytes.Add(uint64(serr.size - serr.goodEnd))
+			}
+			end, next = serr.goodEnd, serr.nextLSN
+		}
+		l.nextLSN = next
+		if last {
+			l.segStart = seg.firstLSN
+			l.segBytes = end
+		}
+	}
+
+	if len(segs) == 0 {
+		if err := l.openSegmentLocked(0); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopen %s: %w", last.path, err)
+		}
+		if _, err := f.Seek(l.segBytes, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seek %s: %w", last.path, err)
+		}
+		l.f = f
+		l.bw = bufio.NewWriterSize(f, 1<<16)
+	}
+
+	if opts.SyncInterval > 0 {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.runFlusher()
+	}
+	return l, nil
+}
+
+// openSegmentLocked creates and switches to a fresh segment whose first
+// LSN is firstLSN. Caller holds l.mu (or is initializing).
+func (l *Log) openSegmentLocked(firstLSN uint64) error {
+	path := filepath.Join(l.dir, segName(firstLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	var head [headerSize]byte
+	le := binary.LittleEndian
+	le.PutUint32(head[0:], segMagic)
+	le.PutUint16(head[4:], segVersion)
+	le.PutUint64(head[8:], firstLSN)
+	if _, err := f.Write(head[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	l.f = f
+	l.bw = bufio.NewWriterSize(f, 1<<16)
+	l.segStart = firstLSN
+	l.segBytes = headerSize
+	if l.rec != nil {
+		l.rec.SegmentsCreated.Inc()
+	}
+	return nil
+}
+
+func segName(firstLSN uint64) string { return fmt.Sprintf("%016x%s", firstLSN, segSuffix) }
+
+// NextLSN returns the LSN the next appended op will receive — equivalently
+// the number of ops the log has accepted so far.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Append writes one record holding ops (in order) and returns the first
+// op's LSN. The record is buffered; it is durable once Sync (or the group
+// commit flusher, or a 0 SyncInterval) has fsynced past it. Appends larger
+// than MaxRecordOps are split into multiple records.
+func (l *Log) Append(ops []core.EdgeOp) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.failed {
+		return 0, ErrFailed
+	}
+	first := l.nextLSN
+	for len(ops) > 0 {
+		n := len(ops)
+		if n > MaxRecordOps {
+			n = MaxRecordOps
+		}
+		if err := l.appendRecordLocked(ops[:n]); err != nil {
+			return first, err
+		}
+		ops = ops[n:]
+	}
+	if l.opts.SyncInterval == 0 {
+		if err := l.syncLocked(); err != nil {
+			return first, err
+		}
+	}
+	return first, nil
+}
+
+func (l *Log) appendRecordLocked(ops []core.EdgeOp) error {
+	if err := faultinject.Inject("wal/append"); err != nil {
+		return err
+	}
+	payload := encodePayload(l.nextLSN, ops)
+	recLen := int64(recordHeaderSize + len(payload))
+	if l.segBytes > headerSize && l.segBytes+recLen > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	var head [recordHeaderSize]byte
+	le := binary.LittleEndian
+	le.PutUint32(head[0:], uint32(len(payload)))
+	le.PutUint32(head[4:], crc32.Checksum(payload, castagnoli))
+
+	if err := faultinject.Inject("wal/append-partial"); err != nil {
+		// Simulate a torn write: half the record reaches the file, then
+		// the "process dies" from the log's point of view. Flush straight
+		// through the buffer so the torn bytes are really in the file.
+		torn := append(head[:], payload...)[:(recordHeaderSize+len(payload))/2]
+		l.bw.Write(torn)
+		l.bw.Flush()
+		l.segBytes += int64(len(torn))
+		l.failed = true
+		return err
+	}
+
+	if _, err := l.bw.Write(head[:]); err != nil {
+		l.failed = true
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.bw.Write(payload); err != nil {
+		l.failed = true
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.segBytes += recLen
+	l.nextLSN += uint64(len(ops))
+	l.dirty = true
+	if l.rec != nil {
+		l.rec.AppendedRecords.Inc()
+		l.rec.AppendedOps.Add(uint64(len(ops)))
+		l.rec.AppendedBytes.Add(uint64(recLen))
+		l.rec.SegmentBytes.Set(l.segBytes)
+	}
+	return nil
+}
+
+// rotateLocked syncs and closes the current segment and opens the next.
+func (l *Log) rotateLocked() error {
+	if err := faultinject.Inject("wal/rotate"); err != nil {
+		return err
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	return l.openSegmentLocked(l.nextLSN)
+}
+
+// Sync makes every appended record durable: it flushes the buffer and
+// fsyncs the current segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := faultinject.Inject("wal/fsync"); err != nil {
+		return err
+	}
+	if err := l.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if !l.dirty {
+		return nil
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	if l.rec != nil {
+		l.rec.FsyncLatency.ObserveDuration(time.Since(start))
+		l.rec.Fsyncs.Inc()
+	}
+	return nil
+}
+
+func (l *Log) runFlusher() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty {
+				// Group commit: one fsync covers every append since the
+				// last tick. Errors surface on the next explicit
+				// Sync/Append; the flusher itself has no caller to tell.
+				_ = l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close syncs and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.syncLocked()
+	cerr := l.f.Close()
+	l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+	}
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Crash abandons the log the way a killed process would: open buffers are
+// discarded (never flushed), nothing is fsynced, and the file handle is
+// dropped. Only data that already reached the file survives a subsequent
+// Open. Built for the chaos suite; safe (if pointless) in production.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		l.f.Close() // deliberately without flushing l.bw
+	}
+	l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+	}
+}
+
+// Prune removes segments every record of which is below uptoLSN — called
+// after a checkpoint at uptoLSN makes the prefix redundant. The segment
+// containing uptoLSN (and everything after) is kept.
+func (l *Log) Prune(uptoLSN uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		// A segment's records all precede the next segment's firstLSN.
+		if segs[i+1].firstLSN > uptoLSN {
+			break
+		}
+		if segs[i].firstLSN == l.segStart {
+			break // never remove the active segment
+		}
+		if err := os.Remove(segs[i].path); err != nil {
+			return removed, fmt.Errorf("wal: prune: %w", err)
+		}
+		removed++
+		if l.rec != nil {
+			l.rec.SegmentsPruned.Inc()
+		}
+	}
+	return removed, nil
+}
+
+// Segments reports the current on-disk segment count (telemetry/tests).
+func (l *Log) Segments() (int, error) {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	return len(segs), nil
+}
+
+type segInfo struct {
+	path     string
+	firstLSN uint64
+}
+
+// listSegments returns dir's segments sorted by first LSN.
+func listSegments(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		segs = append(segs, segInfo{path: filepath.Join(dir, name), firstLSN: lsn})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
+// encodePayload serializes one record payload: firstLSN, count, ops.
+func encodePayload(firstLSN uint64, ops []core.EdgeOp) []byte {
+	le := binary.LittleEndian
+	payload := make([]byte, recordMetaSize+opSize*len(ops))
+	le.PutUint64(payload[0:], firstLSN)
+	le.PutUint32(payload[8:], uint32(len(ops)))
+	off := recordMetaSize
+	for _, op := range ops {
+		if op.Del {
+			payload[off] = 1
+		} else {
+			payload[off] = 0
+		}
+		le.PutUint64(payload[off+1:], op.Src)
+		le.PutUint64(payload[off+9:], op.Dst)
+		le.PutUint32(payload[off+17:], floatBits(op.Weight))
+		off += opSize
+	}
+	return payload
+}

@@ -55,6 +55,7 @@ type Session struct {
 	deleted  int
 
 	stream *SessionStream
+	dur    *sessionDurability
 }
 
 type sessionAttachment struct {
@@ -157,6 +158,11 @@ type BatchOutcome struct {
 	// Recomputed lists the programs that ran from scratch because the
 	// batch contained deletions.
 	Recomputed []string
+	// DurabilityErr is non-nil when the session is durable and the batch
+	// could not be logged: the batch was NOT applied (a durable session
+	// never acknowledges state the WAL does not cover). See
+	// Session.EnableDurability.
+	DurabilityErr error `json:"-"`
 }
 
 // ApplyBatch applies the updates to the store, then runs every attached
@@ -171,6 +177,14 @@ func (s *Session) ApplyBatch(b Batch) BatchOutcome {
 
 func (s *Session) applyBatchLocked(b Batch) BatchOutcome {
 	out := BatchOutcome{Runs: make(map[string]RunResult, len(s.engines))}
+	if s.dur != nil {
+		// Log before apply: a batch is acknowledged only once the WAL
+		// covers it, so recovery can never miss an acknowledged batch.
+		if err := s.dur.appendBatch(b); err != nil {
+			out.DurabilityErr = err
+			return out
+		}
+	}
 	out.Inserted = s.graph.InsertBatch(b.Insert)
 	out.Deleted = s.graph.DeleteBatch(b.Delete)
 	s.batches++
@@ -190,6 +204,14 @@ func (s *Session) applyBatchLocked(b Batch) BatchOutcome {
 		}
 		att.record(res, recomputed)
 		out.Runs[name] = res
+	}
+	if s.dur != nil {
+		s.dur.sinceCkpt += uint64(len(b.Insert) + len(b.Delete))
+		if every := s.dur.opts.SnapshotEvery; every > 0 && s.dur.sinceCkpt >= every {
+			if err := s.checkpointLocked(); err != nil {
+				out.DurabilityErr = err
+			}
+		}
 	}
 	return out
 }

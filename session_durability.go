@@ -1,0 +1,278 @@
+package graphtinker
+
+// Durable sessions: the batch-analytics path's crash safety. A durable
+// session logs every batch's ops (inserts, then deletes — the exact order
+// applyBatchLocked applies them) to a WAL before touching the graph, so a
+// batch is acknowledged only once the log covers it. Recover rebuilds a
+// session from the directory: manifest-validated snapshot, then an
+// idempotent replay of the WAL tail. The directory layout and manifest are
+// shared with DurableStream (see durability.go); a session's manifest
+// records Shards = 1.
+
+import (
+	"fmt"
+	"os"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/wal"
+)
+
+// sessionDurability is the durable state attached to a session. All access
+// is under the session mutex.
+type sessionDurability struct {
+	dir  string
+	log  *wal.Log
+	opts DurabilityOptions
+
+	lastCkpt  uint64
+	sinceCkpt uint64
+	failed    bool // a WAL write failed; further batches are refused
+	info      RecoveryInfo
+}
+
+// appendBatch logs one batch's ops in application order. The first append
+// failure degrades the session: later batches must not be acknowledged
+// past an unlogged one, or the WAL would stop being a prefix of the
+// acknowledged stream and recovery would resurrect the refused batch.
+func (d *sessionDurability) appendBatch(b Batch) error {
+	if d.failed {
+		return ErrDurabilityDegraded
+	}
+	n := len(b.Insert) + len(b.Delete)
+	if n == 0 {
+		return nil
+	}
+	ops := make([]Update, 0, n)
+	for _, e := range b.Insert {
+		ops = append(ops, core.InsertOp(e.Src, e.Dst, e.Weight))
+	}
+	for _, e := range b.Delete {
+		ops = append(ops, core.DeleteOp(e.Src, e.Dst))
+	}
+	if _, err := d.log.Append(ops); err != nil {
+		d.failed = true
+		return fmt.Errorf("graphtinker: durable session: batch not applied: %w", err)
+	}
+	return nil
+}
+
+// EnableDurability makes the session crash-safe from here on: every
+// subsequent batch is WAL-logged before it is applied, and Checkpoint
+// compacts the log into a snapshot. The directory must not already hold
+// recovery state (use Recover for that), and the session must not have
+// applied unlogged batches. A session whose graph already has edges (built
+// before enabling) is checkpointed immediately, so that prior state is
+// covered too. Returns the session's WAL for telemetry inspection.
+func (s *Session) EnableDurability(dir string, opts DurabilityOptions) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur != nil {
+		return fmt.Errorf("graphtinker: session durability already enabled")
+	}
+	if s.batches > 0 {
+		return fmt.Errorf("graphtinker: session has already applied %d unlogged batches; enable durability before applying, or Recover into a fresh session", s.batches)
+	}
+	if _, ok, err := wal.LoadManifest(dir); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("graphtinker: %s already holds recovery state; use Session.Recover", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("graphtinker: durable session: %w", err)
+	}
+	log, err := wal.Open(walDir(dir), wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		SyncInterval: opts.SyncInterval,
+		Recorder:     opts.Recorder,
+	})
+	if err != nil {
+		return err
+	}
+	if next := log.NextLSN(); next > 0 {
+		log.Close()
+		return fmt.Errorf("graphtinker: %s already holds %d logged ops; use Session.Recover", dir, next)
+	}
+	s.dur = &sessionDurability{dir: dir, log: log, opts: opts}
+	if s.graph.NumEdges() > 0 {
+		// Pre-existing edges are not in the log; bake them into an
+		// immediate LSN-0 checkpoint so recovery starts from them.
+		if err := s.checkpointLocked(); err != nil {
+			log.Close()
+			s.dur = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover rebuilds the session's graph from a durability directory —
+// manifest-validated snapshot plus an idempotent replay of the WAL tail
+// (ops the snapshot already covers are never re-applied) — and leaves the
+// session durable against the same directory. The session must be fresh:
+// no applied batches, no attached programs (they would reference the
+// replaced graph), durability not yet enabled. An empty directory recovers
+// to an empty graph and is equivalent to EnableDurability.
+func (s *Session) Recover(dir string) (RecoveryInfo, error) {
+	return s.RecoverWithOptions(dir, DurabilityOptions{})
+}
+
+// RecoverWithOptions is Recover with an explicit WAL/checkpoint policy for
+// the session's continued operation.
+func (s *Session) RecoverWithOptions(dir string, opts DurabilityOptions) (RecoveryInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur != nil {
+		return RecoveryInfo{}, fmt.Errorf("graphtinker: session durability already enabled")
+	}
+	if s.batches > 0 || s.graph.NumEdges() > 0 {
+		return RecoveryInfo{}, fmt.Errorf("graphtinker: Recover requires a fresh session (graph already has state)")
+	}
+	if len(s.engines) > 0 {
+		return RecoveryInfo{}, fmt.Errorf("graphtinker: Recover requires no attached programs (attach after recovery)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return RecoveryInfo{}, fmt.Errorf("graphtinker: recover: %w", err)
+	}
+
+	m, haveManifest, err := wal.LoadManifest(dir)
+	if err != nil {
+		return RecoveryInfo{}, err
+	}
+	var info RecoveryInfo
+	if haveManifest {
+		f, err := openSnapshot(dir, m)
+		if err != nil {
+			return RecoveryInfo{}, err
+		}
+		g, err := core.ReadSnapshot(f, nil)
+		f.Close()
+		if err != nil {
+			return RecoveryInfo{}, fmt.Errorf("graphtinker: recover: %w", err)
+		}
+		s.graph = g
+		if s.rec != nil {
+			s.graph.Instrument(s.rec)
+		}
+		info = RecoveryInfo{Recovered: true, SnapshotOps: m.LastLSN}
+	}
+
+	log, err := wal.Open(walDir(dir), wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		SyncInterval: opts.SyncInterval,
+		Recorder:     opts.Recorder,
+	})
+	if err != nil {
+		return RecoveryInfo{}, err
+	}
+	if next := log.NextLSN(); next < m.LastLSN {
+		log.Close()
+		return RecoveryInfo{}, fmt.Errorf("graphtinker: recover: wal ends at LSN %d but manifest snapshot covers %d (log lost behind checkpoint)", next, m.LastLSN)
+	}
+	// Replay the tail op-by-op in LSN order; records straddling the
+	// snapshot boundary arrive pre-sliced, so nothing applies twice.
+	replayed, err := wal.Replay(walDir(dir), m.LastLSN, opts.Recorder, func(lsn uint64, ops []Update) error {
+		for _, op := range ops {
+			if op.Del {
+				s.graph.DeleteEdge(op.Src, op.Dst)
+			} else {
+				s.graph.InsertEdge(op.Src, op.Dst, op.Weight)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return RecoveryInfo{}, err
+	}
+	if replayed > m.LastLSN {
+		info.ReplayedOps = replayed - m.LastLSN
+		info.Recovered = true
+	}
+	s.dur = &sessionDurability{dir: dir, log: log, opts: opts, lastCkpt: m.LastLSN, info: info}
+	return info, nil
+}
+
+// Checkpoint fsyncs the log and atomically installs a snapshot + manifest
+// covering every op logged so far, then prunes redundant WAL segments.
+func (s *Session) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur == nil {
+		return fmt.Errorf("graphtinker: session durability not enabled")
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Session) checkpointLocked() error {
+	d := s.dur
+	if d.failed {
+		// A degraded log may hold a torn tail; snapshotting in-memory state
+		// the log doesn't cover (and pruning it) would make the loss
+		// permanent.
+		return ErrDurabilityDegraded
+	}
+	if err := d.log.Sync(); err != nil {
+		return fmt.Errorf("graphtinker: checkpoint: %w", err)
+	}
+	lsn := d.log.NextLSN()
+	name := snapName(lsn)
+	crc, size, err := installSnapshot(d.dir, name, func(f *os.File) error {
+		return s.graph.WriteSnapshot(f)
+	})
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteManifest(d.dir, wal.Manifest{
+		Snapshot:      name,
+		LastLSN:       lsn,
+		SnapshotCRC:   crc,
+		SnapshotBytes: size,
+		Shards:        1,
+	}); err != nil {
+		return err
+	}
+	if _, err := d.log.Prune(lsn); err != nil {
+		return err
+	}
+	removeStaleSnapshots(d.dir, name)
+	d.lastCkpt = lsn
+	d.sinceCkpt = 0
+	return nil
+}
+
+// DurabilityInfo reports the session's recovery provenance (zero when
+// durability is off or the directory was fresh).
+func (s *Session) DurabilityInfo() RecoveryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur == nil {
+		return RecoveryInfo{}
+	}
+	return s.dur.info
+}
+
+// CloseDurability fsyncs and closes the session's WAL and detaches it;
+// subsequent batches apply without logging. No-op when durability is off.
+func (s *Session) CloseDurability() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur == nil {
+		return nil
+	}
+	err := s.dur.log.Close()
+	s.dur = nil
+	return err
+}
+
+// CrashDurability abandons the WAL the way a killed process would —
+// buffers dropped, nothing synced — and detaches durability. Only ops
+// already durable survive a subsequent Recover. Built for the chaos suite.
+func (s *Session) CrashDurability() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur == nil {
+		return
+	}
+	s.dur.log.Crash()
+	s.dur = nil
+}
