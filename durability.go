@@ -189,6 +189,7 @@ type DurableStream struct {
 	ckptMu    sync.RWMutex
 	sinceCkpt atomic.Uint64
 	lastCkpt  uint64
+	ckptErr   error // outcome of the most recent checkpoint attempt
 	closed    bool
 }
 
@@ -317,7 +318,10 @@ func (d *DurableStream) Totals() StreamTotals { return d.pipe.Totals() }
 func (d *DurableStream) Push(u Update) error { return d.PushBatch([]Update{u}) }
 
 // PushBatch admits ops in order, then (when SnapshotEvery is set) runs an
-// auto-checkpoint if the period has elapsed.
+// auto-checkpoint if the period has elapsed. A nil return means the ops
+// were admitted and WAL-logged; an auto-checkpoint failure is NOT returned
+// here (the ops are durable regardless — returning it would invite a
+// double-applying retry) but is reported via LastCheckpointErr.
 func (d *DurableStream) PushBatch(ops []Update) error {
 	d.ckptMu.RLock()
 	err := d.pipe.PushBatch(ops)
@@ -327,12 +331,20 @@ func (d *DurableStream) PushBatch(ops []Update) error {
 	}
 	if every := d.opts.Durability.SnapshotEvery; every > 0 {
 		if d.sinceCkpt.Add(uint64(len(ops))) >= every {
-			if cerr := d.Checkpoint(); cerr != nil && !errors.Is(cerr, ErrStreamClosed) {
-				return fmt.Errorf("graphtinker: auto-checkpoint: %w", cerr)
-			}
+			_ = d.Checkpoint() // outcome recorded; see LastCheckpointErr
 		}
 	}
 	return nil
+}
+
+// LastCheckpointErr reports the outcome of the most recent checkpoint
+// attempt, explicit or automatic — nil after a success (or before any
+// attempt). It is how auto-checkpoint failures surface, since PushBatch
+// deliberately does not return them.
+func (d *DurableStream) LastCheckpointErr() error {
+	d.ckptMu.RLock()
+	defer d.ckptMu.RUnlock()
+	return d.ckptErr
 }
 
 // Flush is the acknowledged-means-durable barrier: it returns once every
@@ -352,11 +364,16 @@ func (d *DurableStream) Checkpoint() error {
 	if d.closed {
 		return ErrStreamClosed
 	}
+	err := d.checkpointNowLocked()
+	d.ckptErr = err
+	return err
+}
+
+func (d *DurableStream) checkpointNowLocked() error {
 	if err := d.pipe.FlushSync(); err != nil {
 		return err
 	}
-	lsn := d.log.NextLSN()
-	return d.checkpointAtLocked(lsn)
+	return d.checkpointAtLocked(d.log.NextLSN())
 }
 
 func (d *DurableStream) checkpointAtLocked(lsn uint64) error {

@@ -537,3 +537,115 @@ func TestSessionDurabilityGuards(t *testing.T) {
 		t.Fatal("Recover into a used session accepted")
 	}
 }
+
+func TestSessionAutoCheckpointFailureIsNotDurabilityErr(t *testing.T) {
+	// An auto-checkpoint failure happens AFTER the batch was logged and
+	// applied — it must land in CheckpointErr, never in DurabilityErr,
+	// whose contract ("the batch was NOT applied") would make a caller
+	// re-submit and double-apply the batch.
+	t.Cleanup(faultinject.Reset)
+	faultinject.Reset()
+	dir := t.TempDir()
+	s, err := graphtinker.NewSession(graphtinker.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SyncInterval 0 fsyncs on every append; SnapshotEvery 1 checkpoints
+	// after every batch.
+	if err := s.EnableDurability(dir, graphtinker.DurabilityOptions{SyncInterval: 0, SnapshotEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Skip the batch's own append fsync, fail the checkpoint's fsync.
+	if err := faultinject.Set("wal/fsync", "error*1@1"); err != nil {
+		t.Fatal(err)
+	}
+	out := s.ApplyBatch(graphtinker.Batch{Insert: []graphtinker.Edge{{Src: 1, Dst: 2, Weight: 1}}})
+	if out.DurabilityErr != nil {
+		t.Fatalf("checkpoint failure reported as DurabilityErr: %v", out.DurabilityErr)
+	}
+	if out.CheckpointErr == nil {
+		t.Fatal("failed auto-checkpoint did not set CheckpointErr")
+	}
+	if out.Inserted != 1 || s.Graph().NumEdges() != 1 {
+		t.Fatalf("batch not applied: inserted=%d edges=%d", out.Inserted, s.Graph().NumEdges())
+	}
+	// The session is NOT degraded: the next batch (and its checkpoint,
+	// with the failpoint exhausted) must succeed.
+	out = s.ApplyBatch(graphtinker.Batch{Insert: []graphtinker.Edge{{Src: 3, Dst: 4, Weight: 1}}})
+	if out.DurabilityErr != nil || out.CheckpointErr != nil {
+		t.Fatalf("batch after transient checkpoint failure: durability=%v checkpoint=%v", out.DurabilityErr, out.CheckpointErr)
+	}
+	if err := s.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery sees both batches exactly once.
+	s2, err := graphtinker.NewSession(graphtinker.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainstRef(t, s2.Graph(), oracleOver([]graphtinker.Update{
+		graphtinker.InsertUpdate(1, 2, 1),
+		graphtinker.InsertUpdate(3, 4, 1),
+	}))
+	if err := s2.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableStreamAutoCheckpointFailureSurfacesOutOfBand(t *testing.T) {
+	// PushBatch's nil return means "admitted and WAL-logged"; a failed
+	// auto-checkpoint must not turn it into an error (callers would retry
+	// and double-apply the already-durable ops). The failure surfaces via
+	// LastCheckpointErr instead.
+	t.Cleanup(faultinject.Reset)
+	faultinject.Reset()
+	dir := t.TempDir()
+	ops := genStream(200, 0xc4a5)
+	opts := graphtinker.DurableStreamOptions{
+		Shards:     2,
+		Pipeline:   graphtinker.StreamPipelineOptions{MaxBatch: 512, FlushInterval: -1},
+		Durability: graphtinker.DurabilityOptions{SyncInterval: -1, SnapshotEvery: 50},
+	}
+	ds, err := graphtinker.OpenDurableStream(graphtinker.DefaultConfig(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Set("wal/fsync", "error*1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.PushBatch(ops[:100]); err != nil {
+		t.Fatalf("PushBatch returned the auto-checkpoint failure: %v", err)
+	}
+	if err := ds.LastCheckpointErr(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("LastCheckpointErr = %v, want the injected fsync error", err)
+	}
+	faultinject.Reset()
+	// The stream is not degraded: further pushes and an explicit checkpoint
+	// succeed, clearing the recorded error.
+	if err := ds.PushBatch(ops[100:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.LastCheckpointErr(); err != nil {
+		t.Fatalf("LastCheckpointErr after successful checkpoint = %v, want nil", err)
+	}
+	if _, err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := graphtinker.OpenDurableStream(graphtinker.DefaultConfig(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	info := re.Recovery()
+	if info.SnapshotOps+info.ReplayedOps != uint64(len(ops)) {
+		t.Fatalf("snapshot %d + replayed %d ≠ %d submitted (lost or duplicated ops)",
+			info.SnapshotOps, info.ReplayedOps, len(ops))
+	}
+	testutil.CheckAgainstRef(t, re.Store(), oracleOver(ops))
+}

@@ -146,8 +146,16 @@ func Replay(dir string, fromLSN uint64, rec *Recorder, fn func(lsn uint64, ops [
 		return fromLSN, err
 	}
 	next := fromLSN
+	var prevEnd uint64
 	for i, seg := range segs {
 		last := i == len(segs)-1
+		// Cross-segment continuity: a gap means a middle segment is missing
+		// (deleted or lost), and replaying past it would silently skip a
+		// run of ops — corruption, not a recoverable tail.
+		if i > 0 && seg.firstLSN != prevEnd {
+			return next, fmt.Errorf("wal: %s: segment starts at LSN %d but previous segment ends at LSN %d (missing segment?): %w",
+				seg.path, seg.firstLSN, prevEnd, ErrCorrupt)
+		}
 		_, segNext, _, err := scanSegment(seg.path, seg.firstLSN, func(firstLSN uint64, ops []core.EdgeOp) error {
 			opsEnd := firstLSN + uint64(len(ops))
 			if opsEnd <= fromLSN {
@@ -178,6 +186,7 @@ func Replay(dir string, fromLSN uint64, rec *Recorder, fn func(lsn uint64, ops [
 		if segNext > next && segNext > fromLSN {
 			next = segNext
 		}
+		prevEnd = segNext
 	}
 	return next, nil
 }

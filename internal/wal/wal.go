@@ -135,19 +135,43 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts, rec: opts.Recorder}
 
-	// Validate every segment; only the last may have a torn tail.
+	// Validate every segment; only the last may have a torn tail. Segments
+	// must also be LSN-contiguous — each one starts exactly where the
+	// previous ends — or a missing middle segment would silently skip a run
+	// of ops during recovery.
+	recreated := false
 	for i, seg := range segs {
 		last := i == len(segs)-1
+		if i > 0 && seg.firstLSN != l.nextLSN {
+			return nil, fmt.Errorf("wal: %s: segment starts at LSN %d but previous segment ends at LSN %d (missing segment?): %w",
+				seg.path, seg.firstLSN, l.nextLSN, ErrCorrupt)
+		}
 		end, next, _, err := scanSegment(seg.path, seg.firstLSN, nil)
 		if err != nil {
 			if !last {
 				return nil, err
 			}
-			// Torn tail: truncate back to the last whole record.
 			var serr *tailError
 			if !errors.As(err, &serr) {
 				return nil, err
 			}
+			if serr.goodEnd < headerSize {
+				// The segment header itself is torn (crash between segment
+				// creation and the header write during rotation). Merely
+				// truncating would leave a headerless file that appends
+				// extend and the next Open rejects as corrupt — recreate
+				// the segment so a valid header precedes any record.
+				if err := l.openSegmentLocked(seg.firstLSN); err != nil {
+					return nil, err
+				}
+				if l.rec != nil {
+					l.rec.TruncatedBytes.Add(uint64(serr.size))
+				}
+				l.nextLSN = seg.firstLSN
+				recreated = true
+				break
+			}
+			// Torn tail: truncate back to the last whole record.
 			if terr := os.Truncate(seg.path, serr.goodEnd); terr != nil {
 				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, terr)
 			}
@@ -167,7 +191,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		if err := l.openSegmentLocked(0); err != nil {
 			return nil, err
 		}
-	} else {
+	} else if !recreated {
 		last := segs[len(segs)-1]
 		f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
 		if err != nil {

@@ -349,9 +349,12 @@ func TestTornTailTruncation(t *testing.T) {
 	})
 
 	t.Run("torn-header", func(t *testing.T) {
-		dir, _ := build(t, 100)
+		dir, ops := build(t, 100)
 		// Simulate a crash right after rotation created the new segment:
-		// a second segment file with only half a header.
+		// a second segment file with only half a header. Open must rewrite
+		// a valid header (not just truncate to zero) — otherwise the
+		// appends below land headerless and the second reopen finds an
+		// unrecoverably corrupt segment.
 		torn := filepath.Join(dir, segName(100))
 		if err := os.WriteFile(torn, []byte{0x4c, 0x57}, 0o644); err != nil {
 			t.Fatal(err)
@@ -363,7 +366,67 @@ func TestTornTailTruncation(t *testing.T) {
 		if l.NextLSN() != 100 {
 			t.Fatalf("NextLSN = %d, want 100", l.NextLSN())
 		}
-		l.Close()
+		more := genOps(50, 8)
+		if _, err := l.Append(more); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen after torn-header repair + append: %v", err)
+		}
+		if l2.NextLSN() != 150 {
+			t.Fatalf("NextLSN after reopen = %d, want 150", l2.NextLSN())
+		}
+		l2.Close()
+		got, next := replayAll(t, dir, 0)
+		if next != 150 || len(got) != 150 {
+			t.Fatalf("after repair: %d ops to %d, want 150", len(got), next)
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				t.Fatalf("op %d diverged after torn-header repair", i)
+			}
+		}
+		for i := range more {
+			if got[100+i] != more[i] {
+				t.Fatalf("appended op %d diverged after torn-header repair", i)
+			}
+		}
+	})
+
+	t.Run("missing-middle-segment", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := genOps(500, 10)
+		for i := 0; i < len(all); i += 50 {
+			if _, err := l.Append(all[i : i+50]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, _ := listSegments(dir)
+		if len(segs) < 3 {
+			t.Fatalf("need >= 3 segments, have %d", len(segs))
+		}
+		// Delete a middle segment: recovery must fail loudly, not silently
+		// skip the gap's ops and hand back a wrong store.
+		if err := os.Remove(segs[1].path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open with missing middle segment: %v, want ErrCorrupt", err)
+		}
+		if _, err := Replay(dir, 0, nil, func(uint64, []core.EdgeOp) error { return nil }); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Replay with missing middle segment: %v, want ErrCorrupt", err)
+		}
 	})
 
 	t.Run("interior-corruption-fails", func(t *testing.T) {

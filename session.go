@@ -163,6 +163,11 @@ type BatchOutcome struct {
 	// never acknowledges state the WAL does not cover). See
 	// Session.EnableDurability.
 	DurabilityErr error `json:"-"`
+	// CheckpointErr is non-nil when the batch WAS applied and WAL-logged
+	// but the auto-checkpoint that followed it failed. Do not re-submit the
+	// batch — it is durable; the un-compacted tail simply stays in the WAL
+	// until a later Checkpoint succeeds.
+	CheckpointErr error `json:"-"`
 }
 
 // ApplyBatch applies the updates to the store, then runs every attached
@@ -208,8 +213,11 @@ func (s *Session) applyBatchLocked(b Batch) BatchOutcome {
 	if s.dur != nil {
 		s.dur.sinceCkpt += uint64(len(b.Insert) + len(b.Delete))
 		if every := s.dur.opts.SnapshotEvery; every > 0 && s.dur.sinceCkpt >= every {
+			// The batch is already logged and applied; a checkpoint failure
+			// must not masquerade as a refused batch (callers honoring the
+			// DurabilityErr contract would re-submit and double-apply it).
 			if err := s.checkpointLocked(); err != nil {
-				out.DurabilityErr = err
+				out.CheckpointErr = err
 			}
 		}
 	}
