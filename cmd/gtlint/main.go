@@ -1,0 +1,110 @@
+// Command gtlint runs the project's invariant analyzers (internal/analysis)
+// over the whole module and exits non-zero on any unsuppressed finding.
+//
+//	gtlint [-json] [./...]
+//
+// The package pattern argument is accepted for familiarity but the tool
+// always analyzes the entire module containing the working directory —
+// partial runs would let cross-package checks (the failpoint registry
+// cross-reference) report stale state.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"graphtinker/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON report on stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gtlint [-json] [./...]\n\nChecks:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtlint:", err)
+		os.Exit(2)
+	}
+
+	res, err := analysis.Run(moduleDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtlint:", err)
+		os.Exit(2)
+	}
+
+	failing := res.Unsuppressed()
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, moduleDir, res); err != nil {
+			fmt.Fprintln(os.Stderr, "gtlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range failing {
+			fmt.Println(analysis.Format(moduleDir, d))
+		}
+		fmt.Fprintf(os.Stderr, "gtlint: %d finding(s), %d suppressed\n",
+			len(failing), len(res.Suppressed()))
+	}
+	if len(failing) > 0 {
+		os.Exit(1)
+	}
+}
+
+// report is the stable -json schema; nightly CI archives it for trend
+// tracking, so fields only get added, never renamed.
+type report struct {
+	Module      string                `json:"module"`
+	Findings    []analysis.Diagnostic `json:"findings"`
+	Suppressed  []analysis.Diagnostic `json:"suppressed"`
+	FindingN    int                   `json:"finding_count"`
+	SuppressedN int                   `json:"suppressed_count"`
+}
+
+func writeJSON(w *os.File, moduleDir string, res *analysis.Result) error {
+	rel := func(ds []analysis.Diagnostic) []analysis.Diagnostic {
+		out := make([]analysis.Diagnostic, 0, len(ds))
+		for _, d := range ds {
+			out = append(out, analysis.Relativize(moduleDir, d))
+		}
+		return out
+	}
+	r := report{
+		Module:     moduleDir,
+		Findings:   rel(res.Unsuppressed()),
+		Suppressed: rel(res.Suppressed()),
+	}
+	r.FindingN = len(r.Findings)
+	r.SuppressedN = len(r.Suppressed)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+// atomicmix: a struct field whose type comes from sync/atomic
+// (atomic.Uint64, atomic.Bool, ...) must be accessed only through its
+// methods — never read or written as a plain field, and never copied.
+// Mixing a plain load with atomic stores silently forfeits the memory
+// ordering the field exists to provide; the race detector only catches
+// it when a schedule happens to interleave.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix is the atomicmix analyzer.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "struct fields of sync/atomic types accessed only via their methods, never as plain values",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			if !isAtomicType(s.Obj().Type()) {
+				return true
+			}
+			if atomicUseAllowed(stack) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access of atomic field %s.%s; use its methods (Load/Store/Add/...)",
+				types.TypeString(s.Recv(), types.RelativeTo(pass.Pkg)), s.Obj().Name())
+			return true
+		})
+	}
+}
+
+// isAtomicType reports whether t (or what it points to) is a named type
+// declared in sync/atomic.
+func isAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// atomicUseAllowed inspects the enclosing-node stack (outermost first,
+// the atomic field's SelectorExpr last) and accepts the two legitimate
+// shapes: a method call on the field (x.f.Load()) and taking its address
+// (&x.f, which includes passing a pointer along).
+func atomicUseAllowed(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	sel := stack[len(stack)-1].(*ast.SelectorExpr)
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load — fine iff the outer selector is a method on the field;
+		// a field-of-field projection would re-trigger on the outer node
+		// anyway, so accept any selector whose X is our expression.
+		return p.X == sel
+	case *ast.UnaryExpr:
+		// &x.f
+		return p.Op.String() == "&" && p.X == sel
+	}
+	return false
+}

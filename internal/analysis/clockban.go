@@ -1,0 +1,96 @@
+package analysis
+
+// clockban: internal/core's update/probe/scan paths run millions of times
+// a second; a stray time.Now() there costs a vDSO call per operation and
+// skews the paper-reproduction numbers. All timing flows through the
+// metrics.UpdateRecorder seam, which amortizes and isolates clock reads.
+// A function may read the clock only if it hands the measurement to the
+// recorder in the same body.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ClockBan is the clockban analyzer.
+var ClockBan = &Analyzer{
+	Name: "clockban",
+	Doc:  "no direct time.Now/Since/Until in internal/core outside the instrumented recorder seam",
+	Scope: func(pkgPath, filename string) bool {
+		return strings.HasSuffix(pkgPath, "/internal/core") && !strings.HasSuffix(filename, "_test.go")
+	},
+	Run: runClockBan,
+}
+
+func runClockBan(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			seam := usesRecorderSeam(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+				default:
+					return true
+				}
+				if seam {
+					return true
+				}
+				pass.Reportf(call.Pos(), "direct time.%s in internal/core hot path; route timing through the metrics recorder seam", fn.Name())
+				return true
+			})
+		}
+	}
+}
+
+// usesRecorderSeam reports whether the function hands a measurement to a
+// metrics recorder: it calls a method on a type from the metrics package
+// within its own body. Those wrappers are the sanctioned instrumentation
+// seam, and keeping the clock read adjacent to the Record call is the
+// point of the design.
+func usesRecorderSeam(pass *Pass, fd *ast.FuncDecl) bool {
+	seam := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if seam {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return true
+		}
+		if strings.HasSuffix(named.Obj().Pkg().Path(), "/internal/metrics") {
+			seam = true
+			return false
+		}
+		return true
+	})
+	return seam
+}

@@ -1,0 +1,151 @@
+package analysis
+
+// Driver: load every package in the module, run each analyzer over the
+// files its Scope admits, filter findings through //gtlint:ignore
+// suppressions, and cross-check the failpoint registry. This is the
+// whole engine behind cmd/gtlint; tests call Run directly.
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+)
+
+// Result is one full analysis run over a module.
+type Result struct {
+	// Diagnostics holds every finding, suppressed ones included, sorted by
+	// position. Unsuppressed() gives the set that should fail a build.
+	Diagnostics []Diagnostic
+}
+
+// Unsuppressed returns the findings not covered by a //gtlint:ignore.
+func (r *Result) Unsuppressed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Suppressed returns the findings annotated away, with their reasons.
+func (r *Result) Suppressed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run analyzes the module rooted at moduleDir with the full check suite.
+func Run(moduleDir string) (*Result, error) {
+	return run(moduleDir, Analyzers())
+}
+
+// run is the suite-parameterized engine; tests use it to isolate checks.
+func run(moduleDir string, suite []*Analyzer) (*Result, error) {
+	loader, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.DiscoverDirs()
+	if err != nil {
+		return nil, err
+	}
+	resetFailpointState(nil)
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	var sups []*suppression
+
+	for _, dir := range dirs {
+		pkgs, err := loader.LoadDir(dir, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			sups = append(sups, collectSuppressions(pkg.Fset, pkg.Files, report)...)
+			for _, a := range suite {
+				files := scopedFiles(a, pkg)
+				if len(files) == 0 {
+					continue
+				}
+				pass := &Pass{
+					Path:     pkg.Path,
+					Module:   loader.ModulePath,
+					Fset:     pkg.Fset,
+					Files:    files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					analyzer: a,
+					diags:    &diags,
+				}
+				a.Run(pass)
+			}
+		}
+	}
+
+	diags = append(diags, staleRegistryDiags(loader.Fset(), moduleDir)...)
+	diags = applySuppressions(diags, sups, report)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Check < b.Check
+	})
+	return &Result{Diagnostics: diags}, nil
+}
+
+// scopedFiles filters a package's files through the analyzer's Scope.
+func scopedFiles(a *Analyzer, pkg *Package) []*ast.File {
+	if a.Scope == nil {
+		return pkg.Files
+	}
+	// Scope sees the package's logical import path: external test
+	// packages answer for their subject package.
+	var out []*ast.File
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if a.Scope(pkg.Path, name) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Relativize rewrites absolute diagnostic paths below moduleDir to
+// module-relative form for stable, copy-pasteable output.
+func Relativize(moduleDir string, d Diagnostic) Diagnostic {
+	if rel, ok := trimDirPrefix(d.Position.Filename, moduleDir); ok {
+		d.Position.Filename = rel
+	}
+	return d
+}
+
+func trimDirPrefix(path, dir string) (string, bool) {
+	if len(path) > len(dir)+1 && path[:len(dir)] == dir && path[len(dir)] == '/' {
+		return path[len(dir)+1:], true
+	}
+	return "", false
+}
+
+// Format renders one diagnostic for terminal output, with paths relative
+// to moduleDir.
+func Format(moduleDir string, d Diagnostic) string {
+	d = Relativize(moduleDir, d)
+	s := fmt.Sprintf("%s: [%s] %s", d.Position, d.Check, d.Message)
+	if d.Suppressed {
+		s += fmt.Sprintf(" (suppressed: %s)", d.SuppressReason)
+	}
+	return s
+}

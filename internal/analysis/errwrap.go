@@ -1,0 +1,98 @@
+package analysis
+
+// errwrapdiscipline: the exported facade must keep error chains intact.
+// Two rules over the root package's non-test files:
+//
+//  1. fmt.Errorf with an error-typed argument must use %w, not %v/%s —
+//     otherwise callers lose errors.Is/As access to the cause.
+//  2. Sentinel comparison goes through errors.Is, never ==/!= — a
+//     wrapped sentinel compares unequal and the branch silently dies.
+//
+// Comparisons against nil are the idiomatic err != nil check and exempt.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrapDiscipline is the errwrapdiscipline analyzer.
+var ErrWrapDiscipline = &Analyzer{
+	Name: "errwrapdiscipline",
+	Doc:  "facade code wraps causes with %w and compares sentinels via errors.Is, never ==",
+	Scope: func(pkgPath, filename string) bool {
+		// The facade is the module root package.
+		return !strings.Contains(pkgPath, "/") && !strings.HasSuffix(filename, "_test.go")
+	},
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		return ok && tv.Type != nil && types.AssignableTo(tv.Type, errType)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n, isErr)
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isErr(n.X) || !isErr(n.Y) {
+					return true
+				}
+				if isNilIdent(pass, n.X) || isNilIdent(pass, n.Y) {
+					return true
+				}
+				pass.Reportf(n.OpPos, "error compared with %s; use errors.Is so wrapped sentinels still match", n.Op)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error value without
+// a %w verb in the format string.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr, isErr func(ast.Expr) bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	hasErrArg := false
+	for _, a := range call.Args[1:] {
+		if isErr(a) {
+			hasErrArg = true
+			break
+		}
+	}
+	if !hasErrArg {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // dynamic format: can't see the verbs
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w; the cause is unreachable to errors.Is/As")
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.Uses[id].(*types.Nil)
+	return isNil
+}

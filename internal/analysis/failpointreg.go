@@ -1,0 +1,131 @@
+package analysis
+
+// failpointreg: every failpoint name used as a string literal — in an
+// Inject call at a production site, or in Set/Clear/Fired from a test —
+// must resolve against the registry in internal/faultinject/registry.go.
+// A typo'd name arms nothing: the chaos gate keeps passing while testing
+// strictly less than it claims. The driver also runs the reverse check
+// (staleRegistryDiags): a registry entry whose Inject site is gone is a
+// dead invariant and gets flagged at its line in registry.go.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"graphtinker/internal/faultinject"
+)
+
+// failpointNames is the registered-name set literals are validated
+// against. It defaults to the real registry; golden tests substitute
+// their fixture's set.
+var failpointNames = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, n := range faultinject.Names() {
+		m[n] = true
+	}
+	return m
+}()
+
+// failpointSeen accumulates names referenced by Inject calls across the
+// whole driver run, for stale-entry detection. The driver is
+// single-threaded per analyzer suite, so a plain map suffices.
+var failpointSeen = map[string]bool{}
+
+// FailpointReg is the failpointreg analyzer.
+var FailpointReg = &Analyzer{
+	Name: "failpointreg",
+	Doc:  "failpoint name literals resolve against the internal/faultinject registry",
+	Scope: func(pkgPath, filename string) bool {
+		// The registry's own package is exempt: it defines the names.
+		return path.Base(strings.TrimSuffix(pkgPath, "_test")) != "faultinject"
+	},
+	Run: runFailpointReg,
+}
+
+func runFailpointReg(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path.Base(fn.Pkg().Path()) != "faultinject" {
+				return true
+			}
+			switch fn.Name() {
+			case "Inject", "Set", "Clear", "Fired":
+			default:
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // dynamic name: out of scope
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if fn.Name() == "Inject" {
+				failpointSeen[name] = true
+			}
+			if !failpointNames[name] {
+				pass.Reportf(lit.Pos(), "failpoint %q is not in the faultinject registry (internal/faultinject/registry.go)", name)
+			}
+			return true
+		})
+	}
+}
+
+// staleRegistryDiags reports registry entries no Inject site references,
+// positioned at the entry's key literal inside registry.go. Run by the
+// driver after every package has been analyzed.
+func staleRegistryDiags(fset *token.FileSet, moduleDir string) []Diagnostic {
+	regFile := filepath.Join(moduleDir, "internal", "faultinject", "registry.go")
+	f, err := parser.ParseFile(fset, regFile, nil, 0)
+	if err != nil {
+		return nil // no registry file in this tree; nothing to cross-check
+	}
+	var out []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		kv, ok := n.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		lit, ok := kv.Key.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil || !failpointNames[name] {
+			return true // not a registry entry literal
+		}
+		if !failpointSeen[name] {
+			out = append(out, Diagnostic{
+				Check:    "failpointreg",
+				Position: fset.Position(lit.Pos()),
+				Message:  fmt.Sprintf("registry entry %q has no faultinject.Inject site; remove it or restore the failpoint", name),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// resetFailpointState restores the analyzer's cross-package accumulators;
+// tests use it between runs.
+func resetFailpointState(names map[string]bool) {
+	if names != nil {
+		failpointNames = names
+	}
+	failpointSeen = map[string]bool{}
+}

@@ -1,0 +1,293 @@
+package analysis
+
+// Package loading without golang.org/x/tools: every package in the module
+// is discovered by walking the module tree, parsed with go/parser, and
+// type-checked with go/types. Imports of module-local packages resolve
+// recursively through the same loader (non-test files only, exactly like
+// the go tool's export data); stdlib imports are type-checked from source
+// via go/importer's "source" compiler, sharing one FileSet so positions
+// stay coherent.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit: a package's compiled files
+// plus (for the primary load) its in-package test files, or an external
+// _test package.
+type Package struct {
+	// Path is the import path ("graphtinker/internal/wal"); external test
+	// packages carry the "_test" suffix seen by the type checker.
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses and type-checks the module's packages.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	deps map[string]*types.Package // import-facing packages (no test files)
+	asts map[string][]*ast.File    // parsed non-test files per import path
+}
+
+// NewLoader builds a loader rooted at the module directory. The module
+// path is read from go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	raw, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", moduleDir)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer is not an ImporterFrom")
+	}
+	return &Loader{
+		ModuleDir:  moduleDir,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        std,
+		deps:       make(map[string]*types.Package),
+		asts:       make(map[string][]*ast.File),
+	}, nil
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// DiscoverDirs lists every package directory under the module root,
+// skipping testdata, hidden directories, and dependency-free artifacts.
+func (l *Loader) DiscoverDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		files, err := l.listGoFiles(path, true)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: discover: %w", err)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// listGoFiles returns the buildable .go files in dir, honoring build
+// constraints via go/build's matcher.
+func (l *Loader) listGoFiles(dir string, includeTests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ok, err := ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", filepath.Join(dir, name), err)
+		}
+		if ok {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// pathForDir maps a directory under the module root to its import path.
+func (l *Loader) pathForDir(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirForPath maps a module-local import path back to its directory.
+func (l *Loader) dirForPath(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+}
+
+func (l *Loader) local(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// Import implements types.Importer: module-local paths load recursively
+// through this loader (without test files); everything else is stdlib.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if !l.local(path) {
+		return l.std.ImportFrom(path, srcDir, mode)
+	}
+	if pkg, ok := l.deps[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	l.deps[path] = nil // in-progress marker for cycle detection
+	files, err := l.parseDir(l.dirForPath(path), false)
+	if err != nil {
+		delete(l.deps, path)
+		return nil, err
+	}
+	pkg, _, err := l.check(path, files)
+	if err != nil {
+		delete(l.deps, path)
+		return nil, err
+	}
+	l.deps[path] = pkg
+	l.asts[path] = files
+	return pkg, nil
+}
+
+func (l *Loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	names, err := l.listGoFiles(dir, includeTests)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// LoadDir loads the package in dir as analysis units: the package itself
+// (with in-package test files when includeTests is set) plus, when one
+// exists, its external _test package.
+func (l *Loader) LoadDir(dir string, includeTests bool) ([]*Package, error) {
+	path, err := l.pathForDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	files, err := l.parseDir(dir, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	// Split external test files (package foo_test) from the main unit.
+	var main, ext []*ast.File
+	var mainName string
+	for _, f := range files {
+		name := f.Name.Name
+		if !strings.HasSuffix(name, "_test") {
+			mainName = name
+			break
+		}
+	}
+	for _, f := range files {
+		if mainName != "" && f.Name.Name == mainName+"_test" {
+			ext = append(ext, f)
+		} else {
+			main = append(main, f)
+		}
+	}
+
+	var out []*Package
+	if len(main) > 0 {
+		pkg, info, err := l.check(path, main)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{Path: path, Dir: dir, Fset: l.fset, Files: main, Types: pkg, Info: info})
+		// The test-inclusive unit supersedes any dep-cache entry only if
+		// none exists yet; importers must keep seeing the non-test view.
+		if _, ok := l.deps[path]; !ok && !includeTests {
+			l.deps[path] = pkg
+			l.asts[path] = main
+		}
+	}
+	if len(ext) > 0 {
+		pkg, info, err := l.check(path+"_test", ext)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{Path: path + "_test", Dir: dir, Fset: l.fset, Files: ext, Types: pkg, Info: info})
+	}
+	return out, nil
+}

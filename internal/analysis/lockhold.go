@@ -1,0 +1,496 @@
+package analysis
+
+// lockhold: no sync.Mutex / sync.RWMutex may be held across a blocking
+// operation. Blocking means: fsync ((*os.File).Sync), time.Sleep, a
+// channel send or receive, a select without a default clause,
+// (*sync.WaitGroup).Wait — or a call to a same-package function that
+// transitively does one of those. sync.Cond.Wait is exempt: it releases
+// its mutex while parked, which is the sanctioned way to block under a
+// lock.
+//
+// The check is intraprocedural over a must-hold approximation: a lock is
+// considered held at a point only when every path from its Lock() reaches
+// that point without an Unlock(). Deferred unlocks hold to function exit.
+// Cross-package calls are NOT considered blocking — an API's internal
+// waiting is that package's own contract — so the check encodes "don't
+// hold YOUR lock across YOUR scheduling points".
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHold is the lockhold analyzer.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no sync.Mutex/RWMutex held across blocking calls (fsync, sleep, channel ops, WaitGroup.Wait)",
+	Scope: func(pkgPath, filename string) bool {
+		switch {
+		case strings.HasSuffix(pkgPath, "/internal/wal"),
+			strings.HasSuffix(pkgPath, "/internal/ingest"):
+			return true
+		case !strings.Contains(pkgPath, "/"): // the root facade (session layer)
+			return true
+		}
+		return false
+	},
+	Run: runLockHold,
+}
+
+// blockEvent is one lock-relevant occurrence inside a statement, in
+// source order.
+type blockEvent struct {
+	kind string // "lock", "rlock", "unlock", "runlock", "block"
+	key  string // lock identity (rendered receiver expression)
+	pos  token.Pos
+	desc string // for "block": human description of the blocking op
+}
+
+type lockholdCtx struct {
+	pass *Pass
+	// blocking maps same-package functions to a short description of the
+	// blocking operation they (transitively) perform.
+	blocking map[*types.Func]string
+	decls    map[*types.Func]*ast.FuncDecl
+}
+
+func runLockHold(pass *Pass) {
+	ctx := &lockholdCtx{
+		pass:     pass,
+		blocking: make(map[*types.Func]string),
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				ctx.decls[obj] = fd
+			}
+		}
+	}
+
+	// Fixed point: seed with direct blockers, then propagate through
+	// same-package calls until nothing changes.
+	for {
+		changed := false
+		for obj, fd := range ctx.decls {
+			if _, done := ctx.blocking[obj]; done {
+				continue
+			}
+			if desc := ctx.directOrTransitiveBlock(fd); desc != "" {
+				ctx.blocking[obj] = desc
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, fd := range ctx.decls {
+		w := &lockWalker{ctx: ctx}
+		w.stmts(fd.Body.List, map[string]token.Pos{})
+	}
+}
+
+// directOrTransitiveBlock scans a function body (ignoring nested function
+// literals) for a blocking operation, returning its description.
+func (c *lockholdCtx) directOrTransitiveBlock(fd *ast.FuncDecl) string {
+	desc := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate goroutine/closure; analyzed on its own
+		case *ast.SendStmt:
+			desc = "channel send"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				desc = "channel receive"
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				desc = "select"
+			}
+		case *ast.CallExpr:
+			if d := c.callBlocks(n); d != "" {
+				desc = d
+			}
+		}
+		return desc == ""
+	})
+	return desc
+}
+
+// callBlocks reports whether the call is a blocking operation, either
+// directly or via a same-package callee already known to block.
+func (c *lockholdCtx) callBlocks(call *ast.CallExpr) string {
+	fn := calleeFunc(c.pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	if d := wellKnownBlocker(fn); d != "" {
+		return d
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		if via, ok := c.blocking[fn]; ok {
+			return fmt.Sprintf("call to %s (blocks: %s)", fn.Name(), via)
+		}
+	}
+	return ""
+}
+
+// wellKnownBlocker classifies stdlib calls that park the goroutine or hit
+// a slow syscall.
+func wellKnownBlocker(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "os":
+		if fn.Name() == "Sync" && recvNamed(fn) == "File" {
+			return "(*os.File).Sync (fsync)"
+		}
+	case "sync":
+		if fn.Name() == "Wait" && recvNamed(fn) == "WaitGroup" {
+			return "(*sync.WaitGroup).Wait"
+		}
+	}
+	return ""
+}
+
+// recvNamed returns the name of a method's receiver type, or "".
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// calleeFunc resolves a call expression to its *types.Func when the
+// callee is statically known (plain call or method call; not a func
+// value or interface dispatch on an unknown concrete type).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: time.Sleep, os.Remove, ...
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// lockWalker walks statement lists maintaining the must-hold lock set.
+type lockWalker struct {
+	ctx *lockholdCtx
+}
+
+// stmts processes a statement list in order, mutating held. It returns
+// true when the list always terminates (return/branch/panic), i.e. its
+// exit state never merges with a fall-through path.
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]token.Pos) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]token.Pos) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scan(s.X, held)
+	case *ast.SendStmt:
+		w.scan(s.Chan, held)
+		w.scan(s.Value, held)
+		w.reportIfHeld(held, s.Arrow, "channel send")
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scan(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function exit: no state
+		// change. A deferred closure is its own (empty-held) context.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		thenHeld := copyHeld(held)
+		thenTerm := w.stmts(s.Body.List, thenHeld)
+		elseHeld := copyHeld(held)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseHeld)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replaceHeld(held, elseHeld)
+		case elseTerm:
+			replaceHeld(held, thenHeld)
+		default:
+			replaceHeld(held, intersectHeld(thenHeld, elseHeld))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, held)
+		}
+		body := copyHeld(held)
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		replaceHeld(held, intersectHeld(held, body))
+	case *ast.RangeStmt:
+		w.scan(s.X, held)
+		body := copyHeld(held)
+		w.stmts(s.Body.List, body)
+		replaceHeld(held, intersectHeld(held, body))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var initStmt ast.Stmt
+		var tag ast.Expr
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			initStmt, tag, body = sw.Init, sw.Tag, sw.Body
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			initStmt, body = ts.Init, ts.Body
+		}
+		if initStmt != nil {
+			w.stmt(initStmt, held)
+		}
+		if tag != nil {
+			w.scan(tag, held)
+		}
+		exits := [](map[string]token.Pos){}
+		hasDefault := false
+		for _, c := range body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseHeld := copyHeld(held)
+			if !w.stmts(cc.Body, caseHeld) {
+				exits = append(exits, caseHeld)
+			}
+		}
+		if !hasDefault {
+			exits = append(exits, copyHeld(held))
+		}
+		replaceHeld(held, intersectAll(exits))
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			w.reportIfHeld(held, s.Select, "select (blocking)")
+		}
+		exits := [](map[string]token.Pos){}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			caseHeld := copyHeld(held)
+			if cc.Comm != nil {
+				// The comm op itself was accounted to the select; still
+				// process assignments for lock events.
+				w.commStmt(cc.Comm, caseHeld)
+			}
+			if !w.stmts(cc.Body, caseHeld) {
+				exits = append(exits, caseHeld)
+			}
+		}
+		replaceHeld(held, intersectAll(exits))
+	}
+	return false
+}
+
+// commStmt processes a select communication clause without re-reporting
+// its channel operation.
+func (w *lockWalker) commStmt(s ast.Stmt, held map[string]token.Pos) {
+	// Lock events cannot hide in a comm clause; nothing to do beyond
+	// keeping the walk total.
+	_ = s
+	_ = held
+}
+
+// scan walks one expression for blocking operations and lock state
+// transitions, in source order. Nested function literals are separate
+// contexts.
+func (w *lockWalker) scan(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, map[string]token.Pos{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.reportIfHeld(held, n.OpPos, "channel receive")
+			}
+		case *ast.CallExpr:
+			if key, op, ok := w.lockOp(n); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[key] = n.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return false
+			}
+			if desc := w.ctx.callBlocks(n); desc != "" {
+				w.reportIfHeld(held, n.Pos(), desc)
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies mu.Lock/RLock/Unlock/RUnlock calls on sync.Mutex /
+// sync.RWMutex receivers, returning the lock's identity key.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := w.ctx.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := recvNamed(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+func (w *lockWalker) reportIfHeld(held map[string]token.Pos, pos token.Pos, desc string) {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		w.ctx.pass.Reportf(pos, "%s while holding %s", desc, key)
+	}
+}
+
+func copyHeld(m map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func replaceHeld(dst, src map[string]token.Pos) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func intersectHeld(a, b map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func intersectAll(sets []map[string]token.Pos) map[string]token.Pos {
+	if len(sets) == 0 {
+		return map[string]token.Pos{}
+	}
+	out := sets[0]
+	for _, s := range sets[1:] {
+		out = intersectHeld(out, s)
+	}
+	return out
+}

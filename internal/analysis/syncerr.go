@@ -1,0 +1,113 @@
+package analysis
+
+// syncerr: an ignored error from Close/Sync/Flush on a durability-path
+// type is a silent torn write. fsync reports async write-back failures
+// at the Sync/Close boundary — drop that error and the WAL or snapshot
+// is corrupt with a green test run. The check follows the errcheck
+// convention: a bare call statement (or bare defer) discards the error
+// and is a finding; an explicit `_ = f.Close()` is a visible,
+// greppable acknowledgment and passes.
+//
+// Targets: *os.File, *bufio.Writer, and Close/Sync/Flush methods on
+// types declared in the module root, internal/wal, or internal/ingest —
+// the packages that own durable state. Test files are exempt (t.Cleanup
+// noise outweighs the risk there).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SyncErr is the syncerr analyzer.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc:  "no discarded error from Close/Sync/Flush on durability-path types",
+	Scope: func(pkgPath, filename string) bool {
+		return !strings.HasSuffix(filename, "_test.go")
+	},
+	Run: runSyncErr,
+}
+
+func runSyncErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedSync(pass, call, "")
+				}
+				return false // the call was judged as a statement; skip re-visiting
+			case *ast.DeferStmt:
+				if _, isLit := n.Call.Fun.(*ast.FuncLit); !isLit {
+					checkDiscardedSync(pass, n.Call, "defer ")
+					return false
+				}
+			case *ast.GoStmt:
+				if _, isLit := n.Call.Fun.(*ast.FuncLit); !isLit {
+					checkDiscardedSync(pass, n.Call, "go ")
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedSync reports call when it is a Close/Sync/Flush on a
+// durability-path receiver whose error result is being dropped.
+func checkDiscardedSync(pass *Pass, call *ast.CallExpr, via string) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	switch fn.Name() {
+	case "Close", "Sync", "Flush":
+	default:
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return
+	}
+	if !durabilityReceiver(pass, fn) {
+		return
+	}
+	recv := sig.Recv().Type()
+	pass.Reportf(call.Pos(), "%s%s.%s() discards its error; check it or assign to _ explicitly",
+		via, types.TypeString(recv, types.RelativeTo(pass.Pkg)), fn.Name())
+}
+
+func returnsError(sig *types.Signature) bool {
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// durabilityReceiver reports whether the method lives on a type that owns
+// durable state: os.File, bufio.Writer, or anything declared in the
+// module root, internal/wal, or internal/ingest.
+func durabilityReceiver(pass *Pass, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "os":
+		return recvNamed(fn) == "File"
+	case "bufio":
+		return recvNamed(fn) == "Writer"
+	}
+	mod := pass.Module
+	if mod == "" {
+		return false
+	}
+	p := pkg.Path()
+	return p == mod ||
+		p == mod+"/internal/wal" ||
+		p == mod+"/internal/ingest"
+}
