@@ -8,6 +8,7 @@ package graphtinker
 // the internal/ingest pipeline over a Parallel store via NewStreamPipeline.
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -150,7 +151,7 @@ func (st *SessionStream) ApplyAsync(b Batch) (*Completion, error) {
 	c := &Completion{done: make(chan struct{})}
 	item := streamItem{b: b, c: c, at: time.Now()}
 	if err := st.q.push(item, st.opts.Policy == RejectWhenFull); err != nil {
-		if st.rec != nil && err == ErrBackpressure {
+		if st.rec != nil && errors.Is(err, ErrBackpressure) {
 			st.rec.Rejected.Inc()
 		}
 		return nil, err
