@@ -60,7 +60,9 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fatal("-cpuprofile: %v", err)
+			}
 		}()
 	}
 	if *memProfile != "" {
@@ -69,9 +71,12 @@ func main() {
 			if err != nil {
 				fatal("-memprofile: %v", err)
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close()
+				fatal("-memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
 				fatal("-memprofile: %v", err)
 			}
 		}()

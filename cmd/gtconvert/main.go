@@ -69,7 +69,7 @@ func load(path, format string, base uint64, symmetrize bool) (*graphtinker.Graph
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; close error carries no data
 	switch format {
 	case "snap":
 		return graphtinker.ReadSnapshot(f, nil)
@@ -88,12 +88,18 @@ func load(path, format string, base uint64, symmetrize bool) (*graphtinker.Graph
 	}
 }
 
-func save(g *graphtinker.Graph, path, format string) error {
+func save(g *graphtinker.Graph, path, format string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Close flushes write-back; its error is the last chance to learn the
+	// output is torn, so it must not lose to a nil write error.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	switch format {
 	case "snap":
 		return g.WriteSnapshot(f)

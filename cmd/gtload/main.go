@@ -69,7 +69,9 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fatal("-cpuprofile: %v", err)
+			}
 		}()
 	}
 	if *memProfile != "" {
@@ -78,9 +80,12 @@ func main() {
 			if err != nil {
 				fatal("-memprofile: %v", err)
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close()
+				fatal("-memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
 				fatal("-memprofile: %v", err)
 			}
 		}()
@@ -104,7 +109,7 @@ func main() {
 		coreBatches, err := edgefile.ReadBatches(f, edgefile.Options{
 			Base: *fileBase, Symmetrize: *symmetrize, Strict: *strict,
 		}, *batch)
-		f.Close()
+		_ = f.Close() // read-only; the read error below is the one that matters
 		if err != nil {
 			fatal("%v", err)
 		}
