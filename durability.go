@@ -101,7 +101,7 @@ func installSnapshot(dir, name string, write func(f *os.File) error) (crc uint32
 	}
 	tmpName := tmp.Name()
 	fail := func(e error) (uint32, int64, error) {
-		tmp.Close()
+		_ = tmp.Close() // already failing with e; close error is cleanup noise
 		os.Remove(tmpName)
 		return 0, 0, fmt.Errorf("graphtinker: checkpoint: %w", e)
 	}
@@ -120,9 +120,17 @@ func installSnapshot(dir, name string, write func(f *os.File) error) (crc uint32
 		os.Remove(tmpName)
 		return 0, 0, fmt.Errorf("graphtinker: checkpoint: %w", err)
 	}
+	// The directory fsync is what makes the rename durable; a failure here
+	// means the snapshot may vanish on crash, so it must fail the
+	// checkpoint rather than report success. An unopenable directory is
+	// tolerated (some filesystems refuse O_RDONLY on dirs) — the rename
+	// itself still succeeded.
 	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+		serr := d.Sync()
+		_ = d.Close() // read-only handle; Sync above carried the durability
+		if serr != nil {
+			return 0, 0, fmt.Errorf("graphtinker: checkpoint: sync dir: %w", serr)
+		}
 	}
 	return wal.FileCRC(path)
 }
@@ -221,7 +229,7 @@ func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*Dura
 			return nil, err
 		}
 		store, err = core.ReadParallelSnapshot(f, nil)
-		f.Close()
+		_ = f.Close() // read-only; the snapshot decode error is the signal
 		if err != nil {
 			return nil, fmt.Errorf("graphtinker: recover: %w", err)
 		}
@@ -242,12 +250,12 @@ func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*Dura
 		return nil, err
 	}
 	if next := log.NextLSN(); next < m.LastLSN {
-		log.Close()
+		_ = log.Close() // abandoning open; the recovery error below is the signal
 		return nil, fmt.Errorf("graphtinker: recover: wal ends at LSN %d but manifest snapshot covers %d (log lost behind checkpoint)", next, m.LastLSN)
 	}
 	replayed, err := replayInto(walDir(dir), m.LastLSN, opts.Durability.Recorder, store)
 	if err != nil {
-		log.Close()
+		_ = log.Close()
 		return nil, err
 	}
 	info.ReplayedOps = replayed
@@ -259,7 +267,7 @@ func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*Dura
 	popts.WAL = log
 	pipe, err := NewStreamPipeline(store, popts)
 	if err != nil {
-		log.Close()
+		_ = log.Close()
 		return nil, err
 	}
 	return &DurableStream{
@@ -364,6 +372,7 @@ func (d *DurableStream) Checkpoint() error {
 	if d.closed {
 		return ErrStreamClosed
 	}
+	//gtlint:ignore lockhold ckptMu exists to serialize checkpoints; holding it across the drain+fsync+install sequence is its whole job
 	err := d.checkpointNowLocked()
 	d.ckptErr = err
 	return err

@@ -340,6 +340,7 @@ func (p *Pipeline) PushBatch(ops []Update) error {
 	if p.opts.Policy == Reject && p.opts.MaxPending-p.pending < len(ops) {
 		// Hand whatever is buffered to the workers so the backlog drains
 		// even if the caller never pushes again, then fail fast.
+		//gtlint:ignore lockhold WAL retry backoff under p.mu is deliberate: producers must stall while durability recovers (see Options.RetryBase)
 		p.flushLocked()
 		p.rec.rejected()
 		return ErrBackpressure
@@ -348,6 +349,7 @@ func (p *Pipeline) PushBatch(ops []Update) error {
 		for p.pending >= p.opts.MaxPending && !p.closed {
 			// The budget may be held entirely by the unflushed buffer; flush
 			// it so the workers can free budget while we wait.
+			//gtlint:ignore lockhold WAL retry backoff under p.mu is deliberate: producers must stall while durability recovers (see Options.RetryBase)
 			p.flushLocked()
 			p.notFull.Wait()
 		}
@@ -366,6 +368,7 @@ func (p *Pipeline) PushBatch(ops []Update) error {
 			p.rec.QueueDepth.Set(int64(p.pending))
 		}
 		if len(p.buf) >= p.opts.MaxBatch {
+			//gtlint:ignore lockhold WAL retry backoff under p.mu is deliberate: producers must stall while durability recovers (see Options.RetryBase)
 			p.flushLocked()
 		}
 	}
@@ -439,6 +442,7 @@ func (p *Pipeline) runTimer() {
 		case <-t.C:
 			p.mu.Lock()
 			if !p.closed {
+				//gtlint:ignore lockhold WAL retry backoff under p.mu is deliberate: producers must stall while durability recovers (see Options.RetryBase)
 				p.flushLocked()
 			}
 			p.mu.Unlock()
@@ -607,6 +611,7 @@ func (p *Pipeline) Flush() { _ = p.FlushSync() }
 // has stopped).
 func (p *Pipeline) FlushSync() error {
 	p.mu.Lock()
+	//gtlint:ignore lockhold WAL retry backoff under p.mu is deliberate: producers must stall while durability recovers (see Options.RetryBase)
 	p.flushLocked()
 	p.mu.Unlock()
 	if err := p.barrier(p.opts.FlushTimeout); err != nil {
@@ -691,6 +696,7 @@ func (p *Pipeline) Close() (Totals, error) {
 		return p.closeTotals, ErrClosed
 	}
 	p.closed = true
+	//gtlint:ignore lockhold WAL retry backoff under p.mu is deliberate: producers must stall while durability recovers (see Options.RetryBase)
 	p.flushLocked()
 	p.notFull.Broadcast()
 	p.mu.Unlock()

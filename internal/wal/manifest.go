@@ -42,12 +42,12 @@ func WriteManifest(dir string, m Manifest) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(append(raw, '\n')); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // already failing; close error is cleanup noise
 		os.Remove(tmpName)
 		return fmt.Errorf("wal: manifest: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("wal: manifest: %w", err)
 	}
@@ -84,7 +84,7 @@ func FileCRC(path string) (uint32, int64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; the CRC/read errors are the signal
 	h := crc32.New(castagnoli)
 	n, err := io.Copy(h, f)
 	if err != nil {
@@ -99,7 +99,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("wal: sync dir: %w", err)
 	}
-	defer d.Close()
+	defer func() { _ = d.Close() }() // the Sync below carries the durability
 	if err := d.Sync(); err != nil {
 		return fmt.Errorf("wal: sync dir: %w", err)
 	}

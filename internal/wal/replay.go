@@ -38,7 +38,7 @@ func scanSegment(path string, wantFirstLSN uint64, fn func(firstLSN uint64, ops 
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("wal: open segment: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only scan; corruption detection is the signal
 	st, err := f.Stat()
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("wal: stat segment: %w", err)

@@ -198,7 +198,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("wal: reopen %s: %w", last.path, err)
 		}
 		if _, err := f.Seek(l.segBytes, 0); err != nil {
-			f.Close()
+			_ = f.Close() // abandoning reopen; the seek error is the signal
 			return nil, fmt.Errorf("wal: seek %s: %w", last.path, err)
 		}
 		l.f = f
@@ -227,7 +227,7 @@ func (l *Log) openSegmentLocked(firstLSN uint64) error {
 	le.PutUint16(head[4:], segVersion)
 	le.PutUint64(head[8:], firstLSN)
 	if _, err := f.Write(head[:]); err != nil {
-		f.Close()
+		_ = f.Close() // abandoning the segment; the write error is the signal
 		return fmt.Errorf("wal: segment header: %w", err)
 	}
 	l.f = f
@@ -272,12 +272,14 @@ func (l *Log) Append(ops []core.EdgeOp) (uint64, error) {
 		if n > MaxRecordOps {
 			n = MaxRecordOps
 		}
+		//gtlint:ignore lockhold group commit: rotation fsyncs the old segment under l.mu so appends serialized behind it ride the same barrier
 		if err := l.appendRecordLocked(ops[:n]); err != nil {
 			return first, err
 		}
 		ops = ops[n:]
 	}
 	if l.opts.SyncInterval == 0 {
+		//gtlint:ignore lockhold group commit: sync-every-append mode fsyncs under l.mu so concurrent appends batch behind one barrier
 		if err := l.syncLocked(); err != nil {
 			return first, err
 		}
@@ -307,7 +309,7 @@ func (l *Log) appendRecordLocked(ops []core.EdgeOp) error {
 		// through the buffer so the torn bytes are really in the file.
 		torn := append(head[:], payload...)[:(recordHeaderSize+len(payload))/2]
 		l.bw.Write(torn)
-		l.bw.Flush()
+		_ = l.bw.Flush() // simulating a crash; a flush error only helps the simulation
 		l.segBytes += int64(len(torn))
 		l.failed = true
 		return err
@@ -355,6 +357,7 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
+	//gtlint:ignore lockhold group commit: the durability barrier holds l.mu so every append that raced in is covered by this fsync
 	return l.syncLocked()
 }
 
@@ -394,6 +397,7 @@ func (l *Log) runFlusher() {
 				// Group commit: one fsync covers every append since the
 				// last tick. Errors surface on the next explicit
 				// Sync/Append; the flusher itself has no caller to tell.
+				//gtlint:ignore lockhold group commit: the periodic flusher's fsync under l.mu is the commit point appends batch behind
 				_ = l.syncLocked()
 			}
 			l.mu.Unlock()
@@ -409,6 +413,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	//gtlint:ignore lockhold shutdown: the final fsync must exclude appends, and closed=true bounds the wait to one barrier
 	err := l.syncLocked()
 	cerr := l.f.Close()
 	l.mu.Unlock()
@@ -430,7 +435,7 @@ func (l *Log) Crash() {
 	l.mu.Lock()
 	if !l.closed {
 		l.closed = true
-		l.f.Close() // deliberately without flushing l.bw
+		_ = l.f.Close() // deliberately without flushing l.bw; errors are part of the crash
 	}
 	l.mu.Unlock()
 	if l.stop != nil {
