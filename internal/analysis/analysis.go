@@ -11,6 +11,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -170,9 +171,10 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, report func(Dia
 	return out
 }
 
-// applySuppressions marks diagnostics covered by an annotation and reports
-// annotations that cover nothing (stale suppressions rot; they must go).
-func applySuppressions(diags []Diagnostic, sups []*suppression, report func(Diagnostic)) []Diagnostic {
+// applySuppressions marks diagnostics covered by an annotation and appends
+// a finding for annotations that cover nothing (stale suppressions rot;
+// they must go).
+func applySuppressions(diags []Diagnostic, sups []*suppression) []Diagnostic {
 	for i := range diags {
 		d := &diags[i]
 		for _, s := range sups {
@@ -193,7 +195,8 @@ func applySuppressions(diags []Diagnostic, sups []*suppression, report func(Diag
 			for id := range s.checks {
 				ids = append(ids, id)
 			}
-			report(Diagnostic{
+			sort.Strings(ids)
+			diags = append(diags, Diagnostic{
 				Check:    "suppression",
 				Position: token.Position{Filename: s.file, Line: s.line, Column: 1},
 				Message:  fmt.Sprintf("stale //gtlint:ignore (%s): no finding on this or the next line", strings.Join(ids, ",")),

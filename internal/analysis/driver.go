@@ -89,7 +89,7 @@ func run(moduleDir string, suite []*Analyzer) (*Result, error) {
 	}
 
 	diags = append(diags, staleRegistryDiags(loader.Fset(), moduleDir)...)
-	diags = applySuppressions(diags, sups, report)
+	diags = applySuppressions(diags, sups)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Position.Filename != b.Position.Filename {

@@ -1,0 +1,28 @@
+// Golden fixture for the atomicmix check.
+package atomicmixfix
+
+import "sync/atomic"
+
+type Counters struct {
+	N     atomic.Uint64
+	Ready atomic.Bool
+}
+
+// Good: method calls and address-taking are the two sanctioned shapes.
+func Good(c *Counters) uint64 {
+	c.Ready.Store(true)
+	p := &c.N
+	p.Add(1)
+	return c.N.Load()
+}
+
+func BadCopy(c *Counters) {
+	n := c.N // want:atomicmix "plain access of atomic field"
+	_ = n
+}
+
+func BadRead(c *Counters) bool {
+	var b atomic.Bool
+	b = c.Ready // want:atomicmix "plain access of atomic field"
+	return b.Load()
+}

@@ -1,0 +1,3 @@
+module atomicmixfix
+
+go 1.22

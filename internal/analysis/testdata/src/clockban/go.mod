@@ -1,0 +1,3 @@
+module clockbanfix
+
+go 1.22

@@ -1,0 +1,27 @@
+// Golden fixture for the clockban check (scope: internal/core non-test
+// files).
+package core
+
+import (
+	"time"
+
+	"clockbanfix/internal/metrics"
+)
+
+func BadNow() int64 {
+	return time.Now().UnixNano() // want:clockban "direct time.Now"
+}
+
+func BadSince(start time.Time) int64 {
+	return int64(time.Since(start)) // want:clockban "direct time.Since"
+}
+
+// Seam functions hand the measurement to the recorder in the same body;
+// keeping the clock read adjacent to Record is the design.
+func Seam(r *metrics.Recorder) {
+	start := time.Now()
+	work()
+	r.Observe(int64(time.Since(start)))
+}
+
+func work() {}

@@ -1,0 +1,32 @@
+// Golden fixture for the errwrapdiscipline check (facade scope: the
+// module root package, non-test files).
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("gone")
+
+func BadVerb(err error) error {
+	return fmt.Errorf("load: %v", err) // want:errwrapdiscipline "without %w"
+}
+
+func BadCompare(err error) bool {
+	return err == ErrGone // want:errwrapdiscipline "errors.Is"
+}
+
+func BadNotEqual(err error) bool {
+	return err != ErrGone // want:errwrapdiscipline "errors.Is"
+}
+
+func Good(err error) error {
+	if err == nil { // nil checks are idiomatic, not sentinel comparison
+		return nil
+	}
+	if errors.Is(err, ErrGone) {
+		return fmt.Errorf("load: %w", err)
+	}
+	return fmt.Errorf("load failed for %v items", 3) // no error argument
+}

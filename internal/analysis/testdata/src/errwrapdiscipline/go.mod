@@ -1,0 +1,3 @@
+module errwrapfix
+
+go 1.22

@@ -1,0 +1,18 @@
+// Golden fixture for the failpointreg check. The test harness pins the
+// registered-name set to {wal/append, ingest/apply}.
+package failpointfix
+
+import "failpointfix/faultinject"
+
+func Use() {
+	_ = faultinject.Inject("wal/append")
+	_ = faultinject.Inject("wal/appendd") // want:failpointreg "not in the faultinject registry"
+	_ = faultinject.Set("ingest/apply", "error*1")
+	_ = faultinject.Set("ingest/aply", "error*1") // want:failpointreg "not in the faultinject registry"
+	_ = faultinject.Fired("wal/rotate")           // want:failpointreg "not in the faultinject registry"
+}
+
+// Dynamic names are out of scope: only literals can be validated.
+func Dynamic(name string) {
+	_ = faultinject.Inject(name)
+}

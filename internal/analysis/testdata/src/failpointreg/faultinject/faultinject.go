@@ -1,0 +1,9 @@
+// Stub of the real faultinject surface; the check matches any package
+// whose base name is faultinject, so fixtures don't need the module.
+package faultinject
+
+func Inject(name string) error { return nil }
+
+func Set(name, spec string) error { return nil }
+
+func Fired(name string) uint64 { return 0 }

@@ -1,0 +1,3 @@
+module failpointfix
+
+go 1.22

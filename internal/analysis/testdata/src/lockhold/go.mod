@@ -1,0 +1,3 @@
+module lockholdfix
+
+go 1.22

@@ -1,0 +1,21 @@
+// Golden fixture for //gtlint:ignore handling, run under the syncerr
+// analyzer: a covering annotation silences its finding, while stale and
+// unknown-check annotations are themselves findings.
+package suppressionfix
+
+import "os"
+
+func Covered(f *os.File) {
+	//gtlint:ignore syncerr fixture demonstrating a valid suppression
+	f.Close()
+}
+
+func CoveredSameLine(f *os.File) {
+	f.Close() //gtlint:ignore syncerr trailing form covers its own line
+}
+
+//gtlint:ignore syncerr covers nothing so it must be reported stale want:suppression "stale"
+func Stale() {}
+
+//gtlint:ignore nosuchcheck reason text want:suppression "unknown check"
+func Unknown() {}

@@ -1,0 +1,3 @@
+module suppressionfix
+
+go 1.22

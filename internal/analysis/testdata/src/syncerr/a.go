@@ -1,0 +1,37 @@
+// Golden fixture for the syncerr check.
+package syncerrfix
+
+import (
+	"bufio"
+	"os"
+
+	"syncerrfix/internal/wal"
+)
+
+func BadFile(f *os.File) {
+	f.Sync()  // want:syncerr "discards its error"
+	f.Close() // want:syncerr "discards its error"
+}
+
+func BadDefer(f *os.File) {
+	defer f.Close() // want:syncerr "discards its error"
+}
+
+func BadWriter(w *bufio.Writer) {
+	w.Flush() // want:syncerr "discards its error"
+}
+
+func BadLog(l *wal.Log) {
+	l.Sync()        // want:syncerr "discards its error"
+	defer l.Close() // want:syncerr "discards its error"
+}
+
+// Explicit discards and checked errors both pass.
+func Good(f *os.File, l *wal.Log) error {
+	_ = f.Sync()
+	defer func() { _ = f.Close() }()
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	return l.Close()
+}

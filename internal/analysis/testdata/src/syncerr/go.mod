@@ -1,0 +1,3 @@
+module syncerrfix
+
+go 1.22

@@ -1,0 +1,9 @@
+// Stub durability type; syncerr targets Close/Sync/Flush on types from
+// the module root, internal/wal, and internal/ingest.
+package wal
+
+type Log struct{}
+
+func (l *Log) Close() error { return nil }
+
+func (l *Log) Sync() error { return nil }
