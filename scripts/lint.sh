@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo lint gate: formatting, module tidiness, and the gtlint invariant
+# suite. Exit 0 means the tree is clean; used by the CI lint job and
+# runnable by hand:
+#
+#   scripts/lint.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "FAIL: gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
+
+echo "== go mod tidy"
+cp go.mod /tmp/lint-go.mod.bak
+go mod tidy
+if ! cmp -s go.mod /tmp/lint-go.mod.bak; then
+  mv /tmp/lint-go.mod.bak go.mod
+  echo "FAIL: go mod tidy changes go.mod; commit a tidy module file" >&2
+  exit 1
+fi
+rm -f /tmp/lint-go.mod.bak
+
+echo "== gtlint"
+go run ./cmd/gtlint ./...
+
+echo "== OK: lint clean"
