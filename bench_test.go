@@ -37,6 +37,7 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	opts := benchOpts()
+	b.ReportAllocs()
 	var last bench.Table
 	for i := 0; i < b.N; i++ {
 		t, err := exp.Run(opts)

@@ -12,6 +12,18 @@
 // The -scale flag divides every dataset's vertex and edge counts
 // (preserving average degree); -scale 1 reproduces the paper's full sizes
 // and will take hours and tens of GB.
+//
+// Perf mode (selected by any of -perf, -bench-out, -compare) skips the
+// figure experiments and instead runs a short steady-state sweep over the
+// batch-update hot paths:
+//
+//	gtbench -perf                              # print the sweep
+//	gtbench -bench-out BENCH.json              # write machine-readable JSON
+//	gtbench -bench-out /tmp/now.json -compare BENCH_5.json -tolerance 10
+//
+// -compare exits non-zero if any probe's allocs/op or B/op regresses past
+// the baseline by more than -tolerance percent (wall-clock ns/op is gated
+// only with -compare-ns, since it is hardware-dependent).
 package main
 
 import (
@@ -44,8 +56,26 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write update-path histograms and per-iteration engine traces to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+
+		perfFlag   = flag.Bool("perf", false, "run the steady-state perf sweep instead of the figure experiments")
+		benchOut   = flag.String("bench-out", "", "write the perf sweep as JSON to this file (implies -perf)")
+		compare    = flag.String("compare", "", "baseline perf JSON to gate against (implies -perf); exits 1 on regression")
+		tolerance  = flag.Float64("tolerance", 10, "allowed regression over the -compare baseline, in percent")
+		compareNs  = flag.Bool("compare-ns", false, "also gate wall-clock ns/op in -compare (hardware-dependent)")
+		perfEdges  = flag.Int("perf-edges", 4096, "edges per batch in the perf sweep")
+		perfShards = flag.Int("perf-shards", 4, "shard count for the perf sweep's parallel probes")
+		perfTime   = flag.Duration("perf-time", 200*time.Millisecond, "minimum measurement time per perf probe")
 	)
 	flag.Parse()
+
+	if *perfFlag || *benchOut != "" || *compare != "" {
+		runPerf(bench.PerfOptions{
+			EdgesPerOp: *perfEdges,
+			Shards:     *perfShards,
+			MinTime:    *perfTime,
+		}, *benchOut, *compare, *tolerance, *compareNs)
+		return
+	}
 	if *format != "table" && *format != "csv" {
 		fatal("unknown -format %q (table or csv)", *format)
 	}
@@ -162,6 +192,56 @@ func main() {
 			fatal("-metrics-out: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "gtbench: metrics written to %s\n", *metricsOut)
+	}
+}
+
+// runPerf executes the steady-state sweep, optionally persists it, and
+// optionally gates it against a committed baseline.
+func runPerf(opts bench.PerfOptions, outPath, comparePath string, tolerance float64, compareNs bool) {
+	rep, err := bench.RunPerfSweep(opts)
+	if err != nil {
+		fatal("perf sweep: %v", err)
+	}
+
+	fmt.Printf("gtbench perf sweep (%d edges/op, %d shards, %s)\n",
+		rep.EdgesPerOp, rep.Shards, rep.GoVersion)
+	fmt.Printf("%-24s %12s %12s %12s %14s\n", "probe", "ns/op", "allocs/op", "B/op", "edges/sec")
+	for _, r := range rep.Results {
+		fmt.Printf("%-24s %12.0f %12.2f %12.0f %14.3g\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.EdgesPerSec)
+	}
+
+	if outPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("-bench-out: %v", err)
+		}
+		if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+			fatal("-bench-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "gtbench: perf report written to %s\n", outPath)
+	}
+
+	if comparePath != "" {
+		raw, err := os.ReadFile(comparePath)
+		if err != nil {
+			fatal("-compare: %v", err)
+		}
+		var baseline bench.PerfReport
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fatal("-compare: %s: %v", comparePath, err)
+		}
+		if baseline.Schema != bench.PerfSchema {
+			fatal("-compare: %s: schema %q, want %q", comparePath, baseline.Schema, bench.PerfSchema)
+		}
+		regs := bench.ComparePerf(baseline, rep, tolerance, compareNs)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "gtbench: REGRESSION %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("compare: within +%g%% of %s\n", tolerance, comparePath)
 	}
 }
 

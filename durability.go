@@ -425,6 +425,7 @@ func (d *DurableStream) Close() (StreamTotals, error) {
 	if cerr := d.log.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
+	d.store.Close()
 	return tot, err
 }
 
@@ -441,4 +442,7 @@ func (d *DurableStream) Crash() {
 	d.closed = true
 	d.pipe.Abort()
 	d.log.Crash()
+	// The store is in-memory only; stopping its batch workers loses
+	// nothing a real crash would keep.
+	d.store.Close()
 }

@@ -72,7 +72,9 @@ func New(cfg Config) (*Graph, error) { return core.New(cfg) }
 func MustNew(cfg Config) *Graph { return core.MustNew(cfg) }
 
 // NewParallel builds p independent instances sharing one configuration,
-// with batch updates fanned out one goroutine per instance.
+// with batch updates fanned out across persistent per-instance workers
+// (started lazily on the first batch call). Call Close on a batch-updated
+// Parallel when done with it to stop the workers.
 func NewParallel(cfg Config, p int) (*Parallel, error) { return core.NewParallel(cfg, p) }
 
 // Mirrored maintains forward and reverse instances so both edge directions

@@ -1,0 +1,349 @@
+package bench
+
+// perf.go is the steady-state performance sweep behind gtbench's
+// -perf / -bench-out / -compare flags: a small set of allocation- and
+// throughput-sensitive probes over the batch-update hot paths, measured
+// with a self-calibrating harness and emitted as machine-readable JSON so
+// a committed baseline (BENCH_*.json at the repo root) can gate future
+// changes.
+//
+// Each probe runs one op — typically "stage and apply one batch" — in a
+// steady state: stores are prefilled with the batch they re-apply, so the
+// structure neither grows nor rehashes and what's measured is the staging
+// layer the paper's update-throughput claims ride on. Allocation counts
+// are machine-independent, which is what makes cross-machine regression
+// gating sound; wall-clock metrics are recorded for trajectory tracking
+// but only compared when explicitly requested (see ComparePerf).
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"graphtinker/internal/core"
+	"graphtinker/internal/ingest"
+	"graphtinker/internal/wal"
+)
+
+// PerfSchema identifies the JSON layout written by -bench-out.
+const PerfSchema = "gtbench-perf/v1"
+
+// PerfOptions sizes the sweep; zero values select the defaults.
+type PerfOptions struct {
+	// EdgesPerOp is the batch size each probe applies per op (default 4096).
+	EdgesPerOp int
+	// Shards is the sharded-store width (default 4).
+	Shards int
+	// MinTime is the per-probe measurement floor (default 200ms) — the
+	// probe loops whole ops until at least this much time has elapsed.
+	MinTime time.Duration
+	// MaxOps caps a probe's iterations regardless of MinTime (default 1M).
+	MaxOps int
+}
+
+func (o PerfOptions) withDefaults() PerfOptions {
+	if o.EdgesPerOp <= 0 {
+		o.EdgesPerOp = 4096
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.MinTime <= 0 {
+		o.MinTime = 200 * time.Millisecond
+	}
+	if o.MaxOps <= 0 {
+		o.MaxOps = 1 << 20
+	}
+	return o
+}
+
+// PerfResult is one probe's measurement.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	EdgesPerOp  int     `json:"edges_per_op"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+}
+
+// PerfReport is the full sweep: what -bench-out writes and -compare reads.
+type PerfReport struct {
+	Schema     string       `json:"schema"`
+	EdgesPerOp int          `json:"edges_per_op"`
+	Shards     int          `json:"shards"`
+	GoVersion  string       `json:"go_version"`
+	Results    []PerfResult `json:"results"`
+}
+
+// Result returns the named probe's measurement.
+func (r PerfReport) Result(name string) (PerfResult, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return PerfResult{}, false
+}
+
+// perfRand is a xorshift64 generator — deterministic probe inputs without
+// importing the dataset packages.
+type perfRand struct{ s uint64 }
+
+func (r *perfRand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// perfEdges synthesizes a skewed edge stream matching the benchmark suite's
+// shape (sources squared toward low ids).
+func perfEdges(n int, vertices uint64, seed uint64) []core.Edge {
+	r := &perfRand{s: seed}
+	out := make([]core.Edge, n)
+	for i := range out {
+		u := r.next() % vertices
+		out[i] = core.Edge{Src: (u * u) % vertices, Dst: r.next() % vertices, Weight: 1}
+	}
+	return out
+}
+
+// measureOp runs op in growing chunks until MinTime elapses (or MaxOps),
+// bracketing the loop with memory-stats reads: ns/op from wall time,
+// allocs/op and B/op from the runtime's allocation counters (covering
+// every goroutine the op fans out to). A short warmup first lets reusable
+// buffers reach their steady-state high-water mark — growth allocations
+// are the thing the steady-state probes deliberately exclude.
+func measureOp(o PerfOptions, edgesPerOp int, op func()) PerfResult {
+	for i := 0; i < 4; i++ {
+		op()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	ops := 0
+	chunk := 1
+	for time.Since(start) < o.MinTime && ops < o.MaxOps {
+		for i := 0; i < chunk && ops+i < o.MaxOps; i++ {
+			op()
+		}
+		if ops+chunk > o.MaxOps {
+			chunk = o.MaxOps - ops
+		}
+		ops += chunk
+		if chunk < 1024 {
+			chunk *= 2
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	res := PerfResult{
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
+		EdgesPerOp:  edgesPerOp,
+	}
+	if elapsed > 0 {
+		res.EdgesPerSec = float64(uint64(ops)*uint64(edgesPerOp)) / elapsed.Seconds()
+	}
+	return res
+}
+
+// RunPerfSweep executes every probe and returns the report. The sweep is
+// deliberately short (MinTime per probe) so CI can run it on every push.
+func RunPerfSweep(o PerfOptions) (PerfReport, error) {
+	o = o.withDefaults()
+	rep := PerfReport{
+		Schema:     PerfSchema,
+		EdgesPerOp: o.EdgesPerOp,
+		Shards:     o.Shards,
+		GoVersion:  runtime.Version(),
+	}
+	vertices := uint64(4 * o.EdgesPerOp)
+
+	// core/insert-steady: the single-instance update path — every op
+	// re-applies the same batch, so each edge is a weight update.
+	{
+		edges := perfEdges(o.EdgesPerOp, vertices, 21)
+		g := core.MustNew(core.DefaultConfig())
+		g.InsertBatch(edges)
+		res := measureOp(o, o.EdgesPerOp, func() { g.InsertBatch(edges) })
+		res.Name = "core/insert-steady"
+		rep.Results = append(rep.Results, res)
+	}
+
+	// parallel/insert-steady: the sharded batch path through the
+	// persistent worker fan-out.
+	{
+		edges := perfEdges(o.EdgesPerOp, vertices, 23)
+		p, err := core.NewParallel(core.DefaultConfig(), o.Shards)
+		if err != nil {
+			return rep, err
+		}
+		p.InsertBatch(edges)
+		res := measureOp(o, o.EdgesPerOp, func() { p.InsertBatch(edges) })
+		p.Close()
+		res.Name = "parallel/insert-steady"
+		rep.Results = append(rep.Results, res)
+	}
+
+	// parallel/insert-delete: both fan-out paths; the live set returns to
+	// its prefill state every op.
+	{
+		base := perfEdges(o.EdgesPerOp, vertices, 25)
+		churn := perfEdges(o.EdgesPerOp/2, vertices, 27)
+		p, err := core.NewParallel(core.DefaultConfig(), o.Shards)
+		if err != nil {
+			return rep, err
+		}
+		p.InsertBatch(base)
+		res := measureOp(o, len(churn)*2, func() {
+			p.InsertBatch(churn)
+			p.DeleteBatch(churn)
+		})
+		p.Close()
+		res.Name = "parallel/insert-delete"
+		rep.Results = append(rep.Results, res)
+	}
+
+	// ingest/push-flush: the streaming pipeline hot path — coalesce,
+	// partition, apply, drain to the read-your-writes barrier.
+	{
+		edges := perfEdges(o.EdgesPerOp, vertices, 29)
+		ops := make([]ingest.Update, len(edges))
+		for i, e := range edges {
+			ops[i] = ingest.Insert(e.Src, e.Dst, e.Weight)
+		}
+		p, err := core.NewParallel(core.DefaultConfig(), o.Shards)
+		if err != nil {
+			return rep, err
+		}
+		pipe, err := ingest.New(p, ingest.Options{
+			MaxBatch:      len(ops),
+			FlushInterval: -1,
+			MaxPending:    8 * len(ops),
+		})
+		if err != nil {
+			p.Close()
+			return rep, err
+		}
+		if err := pipe.PushBatch(ops); err != nil {
+			p.Close()
+			return rep, err
+		}
+		pipe.Flush()
+		res := measureOp(o, len(ops), func() {
+			if err := pipe.PushBatch(ops); err != nil {
+				panic(err)
+			}
+			pipe.Flush()
+		})
+		if _, err := pipe.Close(); err != nil {
+			return rep, fmt.Errorf("bench: perf: pipeline close: %w", err)
+		}
+		p.Close()
+		res.Name = "ingest/push-flush"
+		rep.Results = append(rep.Results, res)
+	}
+
+	// wal/append: buffered record encode+write with group commit deferred;
+	// pruning inside the loop keeps the on-disk footprint bounded.
+	{
+		dir, err := os.MkdirTemp("", "gtbench-wal-")
+		if err != nil {
+			return rep, fmt.Errorf("bench: perf: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		l, err := wal.Open(dir, wal.Options{SyncInterval: -1})
+		if err != nil {
+			return rep, err
+		}
+		edges := perfEdges(512, vertices, 31)
+		ops := make([]core.EdgeOp, len(edges))
+		for i, e := range edges {
+			ops[i] = core.InsertOp(e.Src, e.Dst, e.Weight)
+		}
+		appends := 0
+		res := measureOp(o, len(ops), func() {
+			lsn, err := l.Append(ops)
+			if err != nil {
+				panic(err)
+			}
+			appends++
+			if appends%4096 == 0 {
+				if _, err := l.Prune(lsn); err != nil {
+					panic(err)
+				}
+			}
+		})
+		if err := l.Close(); err != nil {
+			return rep, fmt.Errorf("bench: perf: wal close: %w", err)
+		}
+		res.Name = "wal/append"
+		rep.Results = append(rep.Results, res)
+	}
+
+	return rep, nil
+}
+
+// PerfRegression is one probe metric outside the allowed envelope.
+type PerfRegression struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	LimitPct float64 `json:"limit_pct"`
+}
+
+func (r PerfRegression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: probe present in baseline but absent from this run", r.Name)
+	}
+	return fmt.Sprintf("%s: %s regressed %.4g -> %.4g (limit +%g%%)",
+		r.Name, r.Metric, r.Baseline, r.Current, r.LimitPct)
+}
+
+// ComparePerf checks a sweep against a baseline. Allocation metrics
+// (allocs/op, B/op) are compared within tolerancePct — they are
+// deterministic across machines, so a committed baseline gates them in
+// CI. Wall-clock ns/op is compared only when compareNs is set, for runs
+// on hardware comparable to the baseline's; small absolute slacks (half
+// an alloc, 64 bytes) keep rounding from tripping zero-valued baselines.
+// Probes present in the baseline but missing from the run are regressions;
+// new probes absent from the baseline pass silently (they gate the next
+// baseline refresh instead).
+func ComparePerf(baseline, current PerfReport, tolerancePct float64, compareNs bool) []PerfRegression {
+	var regs []PerfRegression
+	scale := 1 + tolerancePct/100
+	for _, base := range baseline.Results {
+		cur, ok := current.Result(base.Name)
+		if !ok {
+			regs = append(regs, PerfRegression{Name: base.Name, Metric: "missing"})
+			continue
+		}
+		if cur.AllocsPerOp > base.AllocsPerOp*scale+0.5 {
+			regs = append(regs, PerfRegression{
+				Name: base.Name, Metric: "allocs/op",
+				Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp, LimitPct: tolerancePct,
+			})
+		}
+		if cur.BytesPerOp > base.BytesPerOp*scale+64 {
+			regs = append(regs, PerfRegression{
+				Name: base.Name, Metric: "B/op",
+				Baseline: base.BytesPerOp, Current: cur.BytesPerOp, LimitPct: tolerancePct,
+			})
+		}
+		if compareNs && cur.NsPerOp > base.NsPerOp*scale {
+			regs = append(regs, PerfRegression{
+				Name: base.Name, Metric: "ns/op",
+				Baseline: base.NsPerOp, Current: cur.NsPerOp, LimitPct: tolerancePct,
+			})
+		}
+	}
+	return regs
+}

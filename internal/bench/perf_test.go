@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func perfFixture() PerfReport {
+	return PerfReport{
+		Schema:     PerfSchema,
+		EdgesPerOp: 4096,
+		Shards:     4,
+		Results: []PerfResult{
+			{Name: "core/insert-steady", NsPerOp: 600000, AllocsPerOp: 0, BytesPerOp: 0, EdgesPerOp: 4096},
+			{Name: "ingest/push-flush", NsPerOp: 500000, AllocsPerOp: 1, BytesPerOp: 112, EdgesPerOp: 4096},
+			{Name: "wal/append", NsPerOp: 30000, AllocsPerOp: 0, BytesPerOp: 32, EdgesPerOp: 512},
+		},
+	}
+}
+
+func TestComparePerfPassesIdentical(t *testing.T) {
+	base := perfFixture()
+	if regs := ComparePerf(base, base, 10, true); len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %v", regs)
+	}
+}
+
+func TestComparePerfAbsoluteSlack(t *testing.T) {
+	base := perfFixture()
+	cur := perfFixture()
+	// Zero-valued baselines get half an alloc and 64 bytes of slack so
+	// measurement rounding can't trip them.
+	cur.Results[0].AllocsPerOp = 0.4
+	cur.Results[0].BytesPerOp = 60
+	if regs := ComparePerf(base, cur, 10, false); len(regs) != 0 {
+		t.Fatalf("within-slack drift flagged: %v", regs)
+	}
+	cur.Results[0].AllocsPerOp = 0.6
+	regs := ComparePerf(base, cur, 10, false)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestComparePerfGatesAllocsAndBytes(t *testing.T) {
+	base := perfFixture()
+	cur := perfFixture()
+	cur.Results[1].AllocsPerOp = 4   // 1 -> 4
+	cur.Results[1].BytesPerOp = 9000 // 112 -> 9000
+	regs := ComparePerf(base, cur, 10, false)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	metrics := map[string]bool{}
+	for _, r := range regs {
+		if r.Name != "ingest/push-flush" {
+			t.Fatalf("regression on wrong probe: %v", r)
+		}
+		metrics[r.Metric] = true
+	}
+	if !metrics["allocs/op"] || !metrics["B/op"] {
+		t.Fatalf("want allocs/op and B/op flagged, got %v", regs)
+	}
+}
+
+func TestComparePerfNsOptIn(t *testing.T) {
+	base := perfFixture()
+	cur := perfFixture()
+	cur.Results[0].NsPerOp = base.Results[0].NsPerOp * 3
+	if regs := ComparePerf(base, cur, 10, false); len(regs) != 0 {
+		t.Fatalf("ns/op gated without -compare-ns: %v", regs)
+	}
+	regs := ComparePerf(base, cur, 10, true)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+}
+
+func TestComparePerfMissingProbe(t *testing.T) {
+	base := perfFixture()
+	cur := perfFixture()
+	cur.Results = cur.Results[:2] // drop wal/append
+	regs := ComparePerf(base, cur, 10, false)
+	if len(regs) != 1 || regs[0].Metric != "missing" || regs[0].Name != "wal/append" {
+		t.Fatalf("want missing-probe regression for wal/append, got %v", regs)
+	}
+	// New probes in the current run (absent from the baseline) pass.
+	cur = perfFixture()
+	cur.Results = append(cur.Results, PerfResult{Name: "new/probe", AllocsPerOp: 99})
+	if regs := ComparePerf(base, cur, 10, false); len(regs) != 0 {
+		t.Fatalf("baseline-absent probe flagged: %v", regs)
+	}
+}
+
+func TestComparePerfTolerance(t *testing.T) {
+	base := perfFixture()
+	base.Results[1].BytesPerOp = 10000
+	cur := perfFixture()
+	cur.Results[1].BytesPerOp = 10900 // +9% on a 10% gate
+	if regs := ComparePerf(base, cur, 10, false); len(regs) != 0 {
+		t.Fatalf("+9%% flagged at 10%% tolerance: %v", regs)
+	}
+	cur.Results[1].BytesPerOp = 11200 // +12%
+	regs := ComparePerf(base, cur, 10, false)
+	if len(regs) != 1 || regs[0].Metric != "B/op" {
+		t.Fatalf("want B/op regression at +12%%, got %v", regs)
+	}
+}
+
+// TestRunPerfSweepShort exercises the real sweep end to end with tiny
+// settings: every probe present, sane metrics, JSON round-trip stable.
+func TestRunPerfSweepShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf sweep in -short mode")
+	}
+	rep, err := RunPerfSweep(PerfOptions{
+		EdgesPerOp: 256,
+		Shards:     2,
+		MinTime:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunPerfSweep: %v", err)
+	}
+	if rep.Schema != PerfSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, PerfSchema)
+	}
+	want := []string{
+		"core/insert-steady",
+		"parallel/insert-steady",
+		"parallel/insert-delete",
+		"ingest/push-flush",
+		"wal/append",
+	}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("got %d probes, want %d: %+v", len(rep.Results), len(want), rep.Results)
+	}
+	for _, name := range want {
+		res, ok := rep.Result(name)
+		if !ok {
+			t.Fatalf("probe %q missing", name)
+		}
+		if res.Ops <= 0 || res.NsPerOp <= 0 || res.EdgesPerSec <= 0 {
+			t.Fatalf("probe %q has degenerate metrics: %+v", name, res)
+		}
+		if res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
+			t.Fatalf("probe %q has negative alloc metrics: %+v", name, res)
+		}
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back PerfReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if regs := ComparePerf(back, rep, 0, true); len(regs) != 0 {
+		t.Fatalf("round-tripped report differs from itself: %v", regs)
+	}
+}

@@ -1,0 +1,92 @@
+//go:build !race
+
+// Allocation-regression pins for the hot paths ISSUE 5 made
+// allocation-free. testing.AllocsPerRun counts are exact and
+// machine-independent, so these run as ordinary tests rather than
+// benchmarks — a change that reintroduces a per-op allocation fails
+// `go test` outright instead of waiting for a benchmark diff. The race
+// detector changes allocation behaviour, hence the build tag.
+
+package core
+
+import "testing"
+
+// allocGraph returns a prefilled single instance plus the edges in it.
+func allocGraph(t *testing.T) (*GraphTinker, []Edge) {
+	t.Helper()
+	edges := benchEdges(4096, 8192, 99)
+	g := MustNew(DefaultConfig())
+	g.InsertBatch(edges)
+	return g, edges
+}
+
+// allocParallel returns a prefilled 4-shard store plus the edges in it.
+// Callers must Close it.
+func allocParallel(t *testing.T) (*Parallel, []Edge) {
+	t.Helper()
+	edges := benchEdges(4096, 8192, 99)
+	p, err := NewParallel(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InsertBatch(edges)
+	return p, edges
+}
+
+func pinAllocs(t *testing.T, name string, want float64, fn func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(100, fn); got > want {
+		t.Errorf("%s: %.2f allocs/op, want <= %.0f", name, got, want)
+	}
+}
+
+func TestReadPathAllocFree(t *testing.T) {
+	g, edges := allocGraph(t)
+	p, _ := allocParallel(t)
+	defer p.Close()
+
+	probe := edges[:64]
+	pinAllocs(t, "GraphTinker.FindEdge", 0, func() {
+		for _, e := range probe {
+			g.FindEdge(e.Src, e.Dst)
+		}
+	})
+	pinAllocs(t, "GraphTinker.OutDegree", 0, func() {
+		for _, e := range probe {
+			g.OutDegree(e.Src)
+		}
+	})
+	pinAllocs(t, "GraphTinker.ForEachOutEdge", 0, func() {
+		for _, e := range probe {
+			g.ForEachOutEdge(e.Src, func(dst uint64, w float32) bool { return true })
+		}
+	})
+	pinAllocs(t, "Parallel.FindEdge", 0, func() {
+		for _, e := range probe {
+			p.FindEdge(e.Src, e.Dst)
+		}
+	})
+	pinAllocs(t, "Parallel.OutDegree", 0, func() {
+		for _, e := range probe {
+			p.OutDegree(e.Src)
+		}
+	})
+	pinAllocs(t, "Parallel.ForEachOutEdge", 0, func() {
+		for _, e := range probe {
+			p.ForEachOutEdge(e.Src, func(dst uint64, w float32) bool { return true })
+		}
+	})
+}
+
+// TestParallelInsertBatchSteadyAllocFree pins the sharded batch-update
+// path at zero steady-state allocations: after the first batch sizes the
+// scratch buffers and starts the workers, re-applying a batch must not
+// allocate (partition scratch, worker fan-out and results are all reused).
+func TestParallelInsertBatchSteadyAllocFree(t *testing.T) {
+	p, edges := allocParallel(t)
+	defer p.Close()
+	p.InsertBatch(edges) // warm the scratch high-water mark
+	pinAllocs(t, "Parallel.InsertBatch steady", 0, func() {
+		p.InsertBatch(edges)
+	})
+}

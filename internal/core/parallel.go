@@ -9,9 +9,10 @@ import (
 
 // Parallel shards a dynamic graph across several independent GraphTinker
 // instances, partitioning the edge stream by where each edge's source vertex
-// id hashes to (Sec. III.D, Fig. 6). Batch updates run one goroutine per
-// instance; because an edge's shard is a pure function of its source id, no
-// two goroutines ever touch the same instance.
+// id hashes to (Sec. III.D, Fig. 6). Batch updates fan out to one
+// persistent worker goroutine per instance; because an edge's shard is a
+// pure function of its source id, no two workers ever touch the same
+// instance.
 //
 // Concurrency contract: every shard is protected by its own sync.RWMutex.
 // Mutators (InsertBatch, DeleteBatch, InsertEdge, DeleteEdge, ApplyShard)
@@ -24,11 +25,38 @@ import (
 // would deadlock (RWMutex read locks are not reentrant under writer
 // pressure). Direct Shard(i) access bypasses the locks entirely and is only
 // safe when the caller has quiesced all writers.
+//
+// Batch lifecycle: the first InsertBatch/DeleteBatch lazily starts the
+// per-shard workers, and the staging buffers they are fed from are reused
+// across calls, so the steady-state batch path allocates nothing. Call
+// Close when done with a batch-updated Parallel to stop the workers; a
+// Parallel that only ever sees single-edge ops, ApplyShard, or queries
+// never starts them. Batch calls are serialized with each other (their
+// shard fan-out still runs in parallel); after Close they degrade to an
+// inline sequential apply, so late callers stay correct.
 type Parallel struct {
 	cfg    Config
 	shards []*GraphTinker
 	locks  []sync.RWMutex
 	seed   uint64
+
+	// batchMu serializes the batch staging path: parts, results and
+	// batchWG below are reused across InsertBatch/DeleteBatch calls, and
+	// worker startup/shutdown is decided under the same lock.
+	batchMu  sync.Mutex
+	parts    [][]Edge // per-shard staging, capacity reused across batches
+	results  []int    // slot i written only by worker i, read after batchWG.Wait
+	batchWG  sync.WaitGroup
+	work     []chan shardWork // nil until the first batch and again after Close
+	closed   bool
+	workerWG sync.WaitGroup
+}
+
+// shardWork is one fan-out unit handed to a persistent shard worker: an
+// ordered sub-batch plus the operation to apply it with.
+type shardWork struct {
+	edges []Edge
+	del   bool
 }
 
 // EdgeOp is one ordered mutation in a streamed update sequence: an insert
@@ -110,73 +138,127 @@ func (p *Parallel) ApplyShard(shard int, ops []EdgeOp) (inserted, deleted int) {
 	return inserted, deleted
 }
 
-// partition splits a batch into per-shard sub-batches.
-func (p *Parallel) partition(edges []Edge) [][]Edge {
-	parts := make([][]Edge, len(p.shards))
-	counts := make([]int, len(p.shards))
-	for i := range edges {
-		counts[p.shardOf(edges[i].Src)]++
+// stageLocked partitions a batch into the reusable per-shard staging
+// buffers in one pass — each edge's shard is hashed exactly once, and the
+// buffers keep their high-water capacity, so steady-state staging is both
+// single-pass and allocation-free. Caller holds p.batchMu.
+func (p *Parallel) stageLocked(edges []Edge) {
+	if p.parts == nil {
+		p.parts = make([][]Edge, len(p.shards))
+		p.results = make([]int, len(p.shards))
 	}
-	for i := range parts {
-		parts[i] = make([]Edge, 0, counts[i])
+	for i := range p.parts {
+		p.parts[i] = p.parts[i][:0]
 	}
 	for i := range edges {
 		s := p.shardOf(edges[i].Src)
-		parts[s] = append(parts[s], edges[i])
+		p.parts[s] = append(p.parts[s], edges[i])
 	}
-	return parts
+}
+
+// startWorkersLocked spawns the persistent per-shard batch workers. The
+// channels have capacity 1 so dispatch never waits for a worker wakeup.
+// Caller holds p.batchMu.
+func (p *Parallel) startWorkersLocked() {
+	p.work = make([]chan shardWork, len(p.shards))
+	for i := range p.work {
+		p.work[i] = make(chan shardWork, 1)
+	}
+	p.workerWG.Add(len(p.work))
+	for i := range p.work {
+		go p.runWorker(i, p.work[i])
+	}
+}
+
+// runWorker is shard i's persistent batch worker: it applies sub-batches
+// under the shard's write lock until its channel closes. results[i] is its
+// private slot — the WaitGroup Done/Wait pair orders the write against the
+// dispatcher's read.
+func (p *Parallel) runWorker(i int, ch <-chan shardWork) {
+	defer p.workerWG.Done()
+	for w := range ch {
+		p.locks[i].Lock()
+		var n int
+		if w.del {
+			n = p.shards[i].DeleteBatch(w.edges)
+		} else {
+			n = p.shards[i].InsertBatch(w.edges)
+		}
+		p.locks[i].Unlock()
+		p.results[i] = n
+		p.batchWG.Done()
+	}
+}
+
+// runBatch stages one batch and fans it out to the shard workers, starting
+// them on first use. Batches are serialized on p.batchMu (their staging
+// state is shared); the per-shard applies still run concurrently. After
+// Close the fan-out degrades to an inline sequential apply.
+func (p *Parallel) runBatch(edges []Edge, del bool) int {
+	p.batchMu.Lock()
+	defer p.batchMu.Unlock()
+	p.stageLocked(edges)
+	if p.work == nil && !p.closed {
+		p.startWorkersLocked()
+	}
+	total := 0
+	if p.work == nil {
+		for i, part := range p.parts {
+			if len(part) == 0 {
+				continue
+			}
+			p.locks[i].Lock()
+			if del {
+				total += p.shards[i].DeleteBatch(part)
+			} else {
+				total += p.shards[i].InsertBatch(part)
+			}
+			p.locks[i].Unlock()
+		}
+		return total
+	}
+	dispatched := 0
+	for i, part := range p.parts {
+		p.results[i] = 0
+		if len(part) == 0 {
+			continue
+		}
+		p.batchWG.Add(1)
+		p.work[i] <- shardWork{edges: part, del: del}
+		dispatched++
+	}
+	if dispatched > 0 {
+		p.batchWG.Wait()
+	}
+	for _, r := range p.results {
+		total += r
+	}
+	return total
 }
 
 // InsertBatch loads a batch across all instances concurrently and returns
 // how many edges were new.
-func (p *Parallel) InsertBatch(edges []Edge) int {
-	parts := p.partition(edges)
-	results := make([]int, len(p.shards))
-	var wg sync.WaitGroup
-	for i := range p.shards {
-		if len(parts[i]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			p.locks[i].Lock()
-			defer p.locks[i].Unlock()
-			results[i] = p.shards[i].InsertBatch(parts[i])
-		}(i)
-	}
-	wg.Wait()
-	total := 0
-	for _, r := range results {
-		total += r
-	}
-	return total
-}
+func (p *Parallel) InsertBatch(edges []Edge) int { return p.runBatch(edges, false) }
 
 // DeleteBatch removes a batch across all instances concurrently and returns
 // how many edges were present.
-func (p *Parallel) DeleteBatch(edges []Edge) int {
-	parts := p.partition(edges)
-	results := make([]int, len(p.shards))
-	var wg sync.WaitGroup
-	for i := range p.shards {
-		if len(parts[i]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			p.locks[i].Lock()
-			defer p.locks[i].Unlock()
-			results[i] = p.shards[i].DeleteBatch(parts[i])
-		}(i)
+func (p *Parallel) DeleteBatch(edges []Edge) int { return p.runBatch(edges, true) }
+
+// Close stops the persistent batch workers (if they ever started) and
+// waits for them to exit. Idempotent and safe to call concurrently with
+// queries and single-edge ops; batch calls arriving after Close apply
+// inline. Only batch-updated Parallels need a Close — one that never saw
+// InsertBatch/DeleteBatch holds no goroutines.
+func (p *Parallel) Close() {
+	p.batchMu.Lock()
+	work := p.work
+	p.work = nil
+	p.closed = true
+	p.batchMu.Unlock()
+	for _, ch := range work {
+		close(ch)
 	}
-	wg.Wait()
-	total := 0
-	for _, r := range results {
-		total += r
-	}
-	return total
+	p.workerWG.Wait()
 }
 
 // InsertEdge routes a single insertion to its shard.

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestParallelWorkerLifecycle pins the persistent-worker contract: workers
+// start lazily on the first batch call, Close stops them (idempotently),
+// and batch calls after Close still apply correctly via the inline path.
+func TestParallelWorkerLifecycle(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p, err := NewParallel(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No batch yet: no workers have started.
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("NewParallel started %d goroutines before any batch", g-before)
+	}
+	// Close before any batch is a no-op.
+	p.Close()
+
+	// Post-Close batches degrade to the inline path and stay correct.
+	edges := benchEdges(1000, 512, 3)
+	if n := p.InsertBatch(edges); n == 0 {
+		t.Fatal("post-Close InsertBatch inserted nothing")
+	}
+	want := p.NumEdges()
+	for _, e := range edges {
+		if _, ok := p.FindEdge(e.Src, e.Dst); !ok {
+			t.Fatalf("edge (%d,%d) missing after post-Close insert", e.Src, e.Dst)
+		}
+	}
+	if n := p.DeleteBatch(edges); uint64(n) != want {
+		t.Fatalf("post-Close DeleteBatch removed %d edges, want %d", n, want)
+	}
+	p.Close() // idempotent after use
+}
+
+// TestParallelWorkersStopOnClose verifies the lazily-started workers
+// actually exit on Close (no goroutine leak from the batch path).
+func TestParallelWorkersStopOnClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p, err := NewParallel(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InsertBatch(benchEdges(4096, 2048, 5)) // starts the workers
+	p.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("%d goroutines still alive after Close", g-before)
+	}
+}
+
+// TestParallelBatchViaWorkersMatchesSequential drives the worker fan-out
+// through mixed insert/delete batches and checks the result against a
+// single sequential instance.
+func TestParallelBatchViaWorkersMatchesSequential(t *testing.T) {
+	p, err := NewParallel(DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ref := MustNew(DefaultConfig())
+
+	for round := 0; round < 6; round++ {
+		ins := benchEdges(3000, 700, uint64(round+1))
+		del := benchEdges(1200, 700, uint64(round+7))
+		gotIns, wantIns := p.InsertBatch(ins), ref.InsertBatch(ins)
+		if gotIns != wantIns {
+			t.Fatalf("round %d: InsertBatch=%d want %d", round, gotIns, wantIns)
+		}
+		gotDel, wantDel := p.DeleteBatch(del), ref.DeleteBatch(del)
+		if gotDel != wantDel {
+			t.Fatalf("round %d: DeleteBatch=%d want %d", round, gotDel, wantDel)
+		}
+		if p.NumEdges() != ref.NumEdges() {
+			t.Fatalf("round %d: NumEdges=%d want %d", round, p.NumEdges(), ref.NumEdges())
+		}
+	}
+	ref.ForEachEdge(func(src, dst uint64, w float32) bool {
+		got, ok := p.FindEdge(src, dst)
+		if !ok {
+			t.Fatalf("edge (%d,%d) missing from sharded store", src, dst)
+		}
+		if got != w {
+			t.Fatalf("edge (%d,%d) weight %v want %v", src, dst, got, w)
+		}
+		return true
+	})
+}
+
+// TestParallelCloseConcurrentWithReaders closes the store while readers
+// hammer the query surface — Close must not disturb them.
+func TestParallelCloseConcurrentWithReaders(t *testing.T) {
+	p, err := NewParallel(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := benchEdges(5000, 1024, 9)
+	p.InsertBatch(edges)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := edges[seed%len(edges)]
+				p.FindEdge(e.Src, e.Dst)
+				p.OutDegree(e.Src)
+				seed++
+			}
+		}(r * 31)
+	}
+	p.Close()
+	close(stop)
+	wg.Wait()
+	if p.NumEdges() == 0 {
+		t.Fatal("store lost its edges across Close")
+	}
+}

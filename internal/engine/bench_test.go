@@ -19,6 +19,7 @@ func benchGraph(b *testing.B, n int) *core.GraphTinker {
 
 func benchRun(b *testing.B, mode Mode) {
 	g := benchGraph(b, 300_000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := MustNew(g, minProgramBench(), Options{Mode: mode})
@@ -62,6 +63,7 @@ func BenchmarkVCEngine(b *testing.B) {
 		u := r.next() % 8192
 		m.InsertEdge((u*u)%8192, r.next()%8192, 1)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := MustNewVC(m, minProgramBench(), Options{})
@@ -71,6 +73,7 @@ func BenchmarkVCEngine(b *testing.B) {
 
 func BenchmarkFrontierAddContains(b *testing.B) {
 	f := newFrontier(1 << 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v := uint64(i) % (1 << 20)

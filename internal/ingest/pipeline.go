@@ -47,7 +47,10 @@ type Target interface {
 	ShardOf(src uint64) int
 	// ApplyShard applies an ordered op sequence to one shard, returning
 	// how many inserts were new and how many deletes hit a live edge. It
-	// is only ever called from the shard's single worker goroutine.
+	// is only ever called from the shard's single worker goroutine. The
+	// ops slice is valid only for the duration of the call: the pipeline
+	// recycles flushed sub-batch buffers, so implementations must copy
+	// anything they keep.
 	ApplyShard(shard int, ops []Update) (inserted, deleted int)
 }
 
@@ -177,11 +180,15 @@ type job struct {
 }
 
 // shardQueue is one shard's unbounded FIFO (admission is bounded globally
-// by MaxPending, so its backlog never exceeds the pipeline budget).
+// by MaxPending, so its backlog never exceeds the pipeline budget). It is
+// a head-indexed slice rather than a pop-front reslice so the backing
+// array is reused once the queue drains — the steady-state push path
+// stops allocating after the backlog's high-water mark.
 type shardQueue struct {
 	mu     sync.Mutex
 	cond   sync.Cond
 	jobs   []job
+	head   int
 	closed bool
 }
 
@@ -208,14 +215,19 @@ func (q *shardQueue) push(j job) bool {
 func (q *shardQueue) pop() (job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.jobs) == 0 && !q.closed {
+	for q.head >= len(q.jobs) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.jobs) == 0 {
+	if q.head >= len(q.jobs) {
 		return job{}, false
 	}
-	j := q.jobs[0]
-	q.jobs = q.jobs[1:]
+	j := q.jobs[q.head]
+	q.jobs[q.head] = job{} // drop references so recycled buffers aren't pinned
+	q.head++
+	if q.head == len(q.jobs) {
+		q.jobs = q.jobs[:0]
+		q.head = 0
+	}
 	return j, true
 }
 
@@ -230,6 +242,7 @@ func (q *shardQueue) close() {
 func (q *shardQueue) abort() {
 	q.mu.Lock()
 	q.jobs = nil
+	q.head = 0
 	q.closed = true
 	q.cond.Broadcast()
 	q.mu.Unlock()
@@ -248,6 +261,24 @@ type Pipeline struct {
 	pending int // admitted but unapplied updates
 	pushed  uint64
 	closed  bool
+
+	// flushLocked's partition scratch, reused across flushes (guarded by
+	// mu): per-shard counts, the cached shard index of every buffered
+	// update (each source id is hashed exactly once per flush), and the
+	// header slice the sub-batches are staged into.
+	counts   []int
+	shardIdx []int32
+	parts    [][]Update
+
+	// freeParts recycles flushed sub-batch buffers: workers return them
+	// after apply, flushLocked reuses them, so steady-state coalescing
+	// allocates nothing. Bounded to maxFree — the whole admission budget
+	// staged as sub-batches plus one flush in hand — so a full backlog
+	// circulates without allocating while burst memory stays proportional
+	// to MaxPending.
+	freeMu    sync.Mutex
+	freeParts [][]Update
+	maxFree   int
 
 	queues  []*shardQueue
 	workers sync.WaitGroup
@@ -287,6 +318,7 @@ func New(target Target, opts Options) (*Pipeline, error) {
 		closeDone: make(chan struct{}),
 	}
 	p.notFull.L = &p.mu
+	p.maxFree = n * (p.opts.MaxPending/p.opts.MaxBatch + 1)
 	for i := range p.queues {
 		p.queues[i] = newShardQueue()
 	}
@@ -405,29 +437,74 @@ func (p *Pipeline) flushLocked() {
 	}
 	now := time.Now()
 	n := len(p.queues)
-	counts := make([]int, n)
-	for i := range p.buf {
-		counts[p.target.ShardOf(p.buf[i].Src)]++
+	if p.counts == nil {
+		p.counts = make([]int, n)
+		p.parts = make([][]Update, n)
 	}
-	parts := make([][]Update, n)
-	for s := range parts {
-		if counts[s] > 0 {
-			parts[s] = make([]Update, 0, counts[s])
+	for s := range p.counts {
+		p.counts[s] = 0
+	}
+	if cap(p.shardIdx) < len(p.buf) {
+		p.shardIdx = make([]int32, len(p.buf))
+	}
+	idx := p.shardIdx[:len(p.buf)]
+	for i := range p.buf {
+		s := p.target.ShardOf(p.buf[i].Src)
+		idx[i] = int32(s)
+		p.counts[s]++
+	}
+	for s, c := range p.counts {
+		if c > 0 {
+			p.parts[s] = p.getPart(c)
 		}
 	}
-	for _, u := range p.buf {
-		s := p.target.ShardOf(u.Src)
-		parts[s] = append(parts[s], u)
+	for i, u := range p.buf {
+		s := idx[i]
+		p.parts[s] = append(p.parts[s], u)
 	}
 	p.buf = p.buf[:0]
 	if p.rec != nil {
 		p.rec.Flushes.Inc()
 	}
-	for s, part := range parts {
+	for s, part := range p.parts {
 		if len(part) > 0 {
 			p.queues[s].push(job{ops: part, at: now})
 		}
+		p.parts[s] = nil // ownership moved to the queue/worker
 	}
+}
+
+// getPart returns a recycled sub-batch buffer (empty, capacity ≥ n when
+// one of that size has circulated before) or a fresh one. Fresh buffers
+// get 25% headroom so the per-flush jitter in shard sizes doesn't keep
+// invalidating recycled capacities.
+func (p *Pipeline) getPart(n int) []Update {
+	p.freeMu.Lock()
+	if last := len(p.freeParts) - 1; last >= 0 {
+		s := p.freeParts[last]
+		p.freeParts[last] = nil
+		p.freeParts = p.freeParts[:last]
+		p.freeMu.Unlock()
+		if cap(s) >= n {
+			return s[:0]
+		}
+	} else {
+		p.freeMu.Unlock()
+	}
+	return make([]Update, 0, n+n/4)
+}
+
+// putPart returns a drained sub-batch buffer to the free list. The list is
+// bounded so a burst's buffers don't pin memory forever.
+func (p *Pipeline) putPart(s []Update) {
+	if s == nil {
+		return
+	}
+	p.freeMu.Lock()
+	if len(p.freeParts) < p.maxFree {
+		p.freeParts = append(p.freeParts, s[:0])
+	}
+	p.freeMu.Unlock()
 }
 
 // runTimer fires time-triggered flushes until Close.
@@ -468,9 +545,12 @@ func (p *Pipeline) runWorker(shard int) {
 		}
 		if p.degraded[shard].Load() {
 			p.dropJob(j)
-			continue
+		} else {
+			p.applyJob(shard, j)
 		}
-		p.applyJob(shard, j)
+		// The sub-batch is fully applied or dropped either way; recycle
+		// its buffer for a later flush.
+		p.putPart(j.ops)
 	}
 }
 

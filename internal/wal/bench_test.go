@@ -1,0 +1,50 @@
+package wal
+
+import (
+	"testing"
+
+	"graphtinker/internal/core"
+)
+
+// BenchmarkAppend measures the buffered append hot path: encode one
+// record and hand it to the segment writer, with group commit deferred
+// (SyncInterval < 0) so fsync cost stays out of the loop. Prune keeps the
+// on-disk footprint bounded across calibration rounds.
+func BenchmarkAppend(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{SyncInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := make([]core.EdgeOp, 512)
+	s := uint64(41)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := range ops {
+		ops[i] = core.InsertOp(next()%16384, next()%16384, 1)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lsn, err := l.Append(ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i%4096 == 4095 {
+			b.StopTimer()
+			if _, err := l.Prune(lsn); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(ops)), "ops/op")
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

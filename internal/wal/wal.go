@@ -114,6 +114,7 @@ type Log struct {
 	segStart uint64 // first LSN of the current segment
 	segBytes int64
 	nextLSN  uint64
+	encBuf   []byte // record staging buffer, reused across appends (under mu)
 	dirty    bool
 	closed   bool
 	failed   bool // a write may have landed partially; appends refused
@@ -287,27 +288,36 @@ func (l *Log) Append(ops []core.EdgeOp) (uint64, error) {
 	return first, nil
 }
 
+// appendRecordLocked stages header and payload contiguously in the reused
+// encode buffer and hands the whole record to the segment writer in one
+// write — so appends allocate nothing in steady state and each record
+// reaches the buffered writer as a single coalesced span (the group-commit
+// window then drains as one large write per flush, not one per field).
 func (l *Log) appendRecordLocked(ops []core.EdgeOp) error {
 	if err := faultinject.Inject("wal/append"); err != nil {
 		return err
 	}
-	payload := encodePayload(l.nextLSN, ops)
-	recLen := int64(recordHeaderSize + len(payload))
+	recLen := int64(recordHeaderSize + recordMetaSize + opSize*len(ops))
 	if l.segBytes > headerSize && l.segBytes+recLen > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return err
 		}
 	}
-	var head [recordHeaderSize]byte
+	if int64(cap(l.encBuf)) < recLen {
+		l.encBuf = make([]byte, recLen)
+	}
+	rec := l.encBuf[:recLen]
+	payload := rec[recordHeaderSize:]
+	encodePayloadInto(payload, l.nextLSN, ops)
 	le := binary.LittleEndian
-	le.PutUint32(head[0:], uint32(len(payload)))
-	le.PutUint32(head[4:], crc32.Checksum(payload, castagnoli))
+	le.PutUint32(rec[0:], uint32(len(payload)))
+	le.PutUint32(rec[4:], crc32.Checksum(payload, castagnoli))
 
 	if err := faultinject.Inject("wal/append-partial"); err != nil {
 		// Simulate a torn write: half the record reaches the file, then
 		// the "process dies" from the log's point of view. Flush straight
 		// through the buffer so the torn bytes are really in the file.
-		torn := append(head[:], payload...)[:(recordHeaderSize+len(payload))/2]
+		torn := rec[:len(rec)/2]
 		l.bw.Write(torn)
 		_ = l.bw.Flush() // simulating a crash; a flush error only helps the simulation
 		l.segBytes += int64(len(torn))
@@ -315,11 +325,7 @@ func (l *Log) appendRecordLocked(ops []core.EdgeOp) error {
 		return err
 	}
 
-	if _, err := l.bw.Write(head[:]); err != nil {
-		l.failed = true
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	if _, err := l.bw.Write(payload); err != nil {
+	if _, err := l.bw.Write(rec); err != nil {
 		l.failed = true
 		return fmt.Errorf("wal: append: %w", err)
 	}
@@ -512,10 +518,10 @@ func listSegments(dir string) ([]segInfo, error) {
 	return segs, nil
 }
 
-// encodePayload serializes one record payload: firstLSN, count, ops.
-func encodePayload(firstLSN uint64, ops []core.EdgeOp) []byte {
+// encodePayloadInto serializes one record payload — firstLSN, count, ops —
+// into payload, which must be exactly recordMetaSize+opSize*len(ops) long.
+func encodePayloadInto(payload []byte, firstLSN uint64, ops []core.EdgeOp) {
 	le := binary.LittleEndian
-	payload := make([]byte, recordMetaSize+opSize*len(ops))
 	le.PutUint64(payload[0:], firstLSN)
 	le.PutUint32(payload[8:], uint32(len(ops)))
 	off := recordMetaSize
@@ -530,5 +536,11 @@ func encodePayload(firstLSN uint64, ops []core.EdgeOp) []byte {
 		le.PutUint32(payload[off+17:], floatBits(op.Weight))
 		off += opSize
 	}
+}
+
+// encodePayload is encodePayloadInto with a fresh buffer (tests and tools).
+func encodePayload(firstLSN uint64, ops []core.EdgeOp) []byte {
+	payload := make([]byte, recordMetaSize+opSize*len(ops))
+	encodePayloadInto(payload, firstLSN, ops)
 	return payload
 }
