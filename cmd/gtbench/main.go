@@ -19,11 +19,13 @@
 //
 //	gtbench -perf                              # print the sweep
 //	gtbench -bench-out BENCH.json              # write machine-readable JSON
-//	gtbench -bench-out /tmp/now.json -compare BENCH_5.json -tolerance 10
+//	gtbench -bench-out /tmp/now.json -compare BENCH_6.json -tolerance 10
 //
 // -compare exits non-zero if any probe's allocs/op or B/op regresses past
 // the baseline by more than -tolerance percent (wall-clock ns/op is gated
-// only with -compare-ns, since it is hardware-dependent).
+// only with -compare-ns, since it is hardware-dependent), or if the
+// concurrent-read probe's latency percentiles blow past the baseline by
+// more than -lat-tolerance percent plus a fixed absolute slack.
 package main
 
 import (
@@ -61,6 +63,7 @@ func main() {
 		benchOut   = flag.String("bench-out", "", "write the perf sweep as JSON to this file (implies -perf)")
 		compare    = flag.String("compare", "", "baseline perf JSON to gate against (implies -perf); exits 1 on regression")
 		tolerance  = flag.Float64("tolerance", 10, "allowed regression over the -compare baseline, in percent")
+		latTol     = flag.Float64("lat-tolerance", 400, "allowed read-latency percentile regression over the -compare baseline, in percent (negative disables)")
 		compareNs  = flag.Bool("compare-ns", false, "also gate wall-clock ns/op in -compare (hardware-dependent)")
 		perfEdges  = flag.Int("perf-edges", 4096, "edges per batch in the perf sweep")
 		perfShards = flag.Int("perf-shards", 4, "shard count for the perf sweep's parallel probes")
@@ -73,7 +76,11 @@ func main() {
 			EdgesPerOp: *perfEdges,
 			Shards:     *perfShards,
 			MinTime:    *perfTime,
-		}, *benchOut, *compare, *tolerance, *compareNs)
+		}, *benchOut, *compare, bench.CompareOptions{
+			TolerancePct:        *tolerance,
+			CompareNs:           *compareNs,
+			LatencyTolerancePct: *latTol,
+		})
 		return
 	}
 	if *format != "table" && *format != "csv" {
@@ -197,7 +204,7 @@ func main() {
 
 // runPerf executes the steady-state sweep, optionally persists it, and
 // optionally gates it against a committed baseline.
-func runPerf(opts bench.PerfOptions, outPath, comparePath string, tolerance float64, compareNs bool) {
+func runPerf(opts bench.PerfOptions, outPath, comparePath string, cmp bench.CompareOptions) {
 	rep, err := bench.RunPerfSweep(opts)
 	if err != nil {
 		fatal("perf sweep: %v", err)
@@ -209,6 +216,10 @@ func runPerf(opts bench.PerfOptions, outPath, comparePath string, tolerance floa
 	for _, r := range rep.Results {
 		fmt.Printf("%-24s %12.0f %12.2f %12.0f %14.3g\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.EdgesPerSec)
+		if r.ReadLatency != nil {
+			fmt.Printf("%-24s %12s p50=%.0fns p99=%.0fns p999=%.0fns (%d samples under writer churn)\n",
+				"", "", r.ReadP50Ns, r.ReadP99Ns, r.ReadP999Ns, r.ReadLatency.Count)
+		}
 	}
 
 	if outPath != "" {
@@ -234,14 +245,14 @@ func runPerf(opts bench.PerfOptions, outPath, comparePath string, tolerance floa
 		if baseline.Schema != bench.PerfSchema {
 			fatal("-compare: %s: schema %q, want %q", comparePath, baseline.Schema, bench.PerfSchema)
 		}
-		regs := bench.ComparePerf(baseline, rep, tolerance, compareNs)
+		regs := bench.ComparePerf(baseline, rep, cmp)
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "gtbench: REGRESSION %s\n", r)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("compare: within +%g%% of %s\n", tolerance, comparePath)
+		fmt.Printf("compare: within +%g%% of %s\n", cmp.TolerancePct, comparePath)
 	}
 }
 

@@ -91,6 +91,7 @@ func Analyzers() []*Analyzer {
 		FailpointReg,
 		ErrWrapDiscipline,
 		ClockBan,
+		SeqlockFence,
 		SyncErr,
 	}
 }

@@ -105,6 +105,10 @@ func TestClockBan(t *testing.T) {
 	checkFixture(t, "clockban", []*Analyzer{ClockBan})
 }
 
+func TestSeqlockFence(t *testing.T) {
+	checkFixture(t, "seqlockfence", []*Analyzer{SeqlockFence})
+}
+
 func TestSyncErr(t *testing.T) {
 	checkFixture(t, "syncerr", []*Analyzer{SyncErr})
 }

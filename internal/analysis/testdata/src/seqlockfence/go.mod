@@ -1,0 +1,3 @@
+module seqlockfencefix
+
+go 1.22

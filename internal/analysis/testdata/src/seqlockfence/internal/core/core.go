@@ -1,0 +1,65 @@
+// Golden fixture for the seqlockfence check (scope: internal/core
+// non-test files; seqlock.go itself is exempt from the inst fence).
+package core
+
+import "sync"
+
+// BadDirectRead dereferences a replica without pinning: the classic
+// torn-read hole the fence exists to close.
+func BadDirectRead(sc *shardCtl) int {
+	return sc.inst[0].edges // want:seqlockfence "shardCtl.inst dereferenced outside seqlock.go"
+}
+
+// BadActiveGuess recomputes the active index by hand and reads through
+// it — still unvalidated, still flagged.
+func BadActiveGuess(sc *shardCtl) *Graph {
+	idx := uint32(sc.seq.Load()>>1) & 1
+	return sc.inst[idx] // want:seqlockfence "shardCtl.inst dereferenced outside seqlock.go"
+}
+
+type store struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// BadRLock takes a reader lock in core: banned by contract even when the
+// locking itself is correct.
+func BadRLock(s *store) int {
+	s.mu.RLock()         // want:seqlockfence "sync.RWMutex.RLock"
+	defer s.mu.RUnlock() // want:seqlockfence "sync.RWMutex.RUnlock"
+	return s.n
+}
+
+// BadRLocker hands out the read side as a sync.Locker — same ban via the
+// method-value form.
+func BadRLocker(s *store) sync.Locker {
+	return s.mu.RLocker() // want:seqlockfence "sync.RWMutex.RLocker"
+}
+
+// embedded promotes the RWMutex methods; the fence must see through the
+// promotion.
+type embedded struct {
+	sync.RWMutex
+	n int
+}
+
+func BadPromoted(e *embedded) int {
+	e.RLock()         // want:seqlockfence "sync.RWMutex.RLock"
+	defer e.RUnlock() // want:seqlockfence "sync.RWMutex.RUnlock"
+	return e.n
+}
+
+// GoodPinned reads through the protocol: untouched.
+func GoodPinned(sc *shardCtl) int {
+	g, idx := sc.pinRead()
+	defer sc.unpin(idx)
+	return g.edges
+}
+
+// GoodWriteLock: the writer side keeps mutual exclusion; Lock/Unlock are
+// fine.
+func GoodWriteLock(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}

@@ -1,0 +1,34 @@
+// Stub seqlock: the one file sanctioned to dereference shardCtl.inst.
+// Nothing here may be flagged.
+package core
+
+import "sync/atomic"
+
+type Graph struct{ edges int }
+
+type shardCtl struct {
+	seq  atomic.Uint64
+	inst [2]*Graph
+	pins [2]atomic.Int64
+}
+
+func (sc *shardCtl) init() {
+	sc.inst[0] = &Graph{}
+	sc.inst[1] = &Graph{}
+}
+
+func (sc *shardCtl) pinRead() (*Graph, uint32) {
+	for {
+		s := sc.seq.Load()
+		if s&1 == 0 {
+			idx := uint32(s>>1) & 1
+			sc.pins[idx].Add(1)
+			if sc.seq.Load() == s {
+				return sc.inst[idx], idx
+			}
+			sc.pins[idx].Add(-1)
+		}
+	}
+}
+
+func (sc *shardCtl) unpin(idx uint32) { sc.pins[idx].Add(-1) }

@@ -12,17 +12,23 @@ package bench
 // structure neither grows nor rehashes and what's measured is the staging
 // layer the paper's update-throughput claims ride on. Allocation counts
 // are machine-independent, which is what makes cross-machine regression
-// gating sound; wall-clock metrics are recorded for trajectory tracking
-// but only compared when explicitly requested (see ComparePerf).
+// gating sound; wall-clock ns/op is recorded for trajectory tracking but
+// only compared when explicitly requested. The concurrent-read probe adds
+// a third metric class: read-latency tail percentiles sampled while a
+// writer churns, gated under a deliberately wide envelope — wide enough
+// to absorb scheduler noise, tight enough to catch reads convoying behind
+// writers again (see ComparePerf).
 
 import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"graphtinker/internal/core"
 	"graphtinker/internal/ingest"
+	"graphtinker/internal/metrics"
 	"graphtinker/internal/wal"
 )
 
@@ -58,7 +64,12 @@ func (o PerfOptions) withDefaults() PerfOptions {
 	return o
 }
 
-// PerfResult is one probe's measurement.
+// PerfResult is one probe's measurement. The Read* fields are populated
+// only by probes that sample read-path latency under concurrent writers
+// (parallel/concurrent-read): tail percentiles estimated from a
+// metrics.Histogram over per-lookup wall times, plus the full histogram
+// snapshot so CI can archive the whole distribution, not just three
+// points of it.
 type PerfResult struct {
 	Name        string  `json:"name"`
 	Ops         int     `json:"ops"`
@@ -67,6 +78,11 @@ type PerfResult struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	EdgesPerOp  int     `json:"edges_per_op"`
 	EdgesPerSec float64 `json:"edges_per_sec"`
+
+	ReadP50Ns   float64                    `json:"read_p50_ns,omitempty"`
+	ReadP99Ns   float64                    `json:"read_p99_ns,omitempty"`
+	ReadP999Ns  float64                    `json:"read_p999_ns,omitempty"`
+	ReadLatency *metrics.HistogramSnapshot `json:"read_latency_ns,omitempty"`
 }
 
 // PerfReport is the full sweep: what -bench-out writes and -compare reads.
@@ -211,6 +227,68 @@ func RunPerfSweep(o PerfOptions) (PerfReport, error) {
 		rep.Results = append(rep.Results, res)
 	}
 
+	// parallel/concurrent-read: the seqlock read path. Two phases over one
+	// store: a quiet phase with no writer measures the deterministic
+	// allocation cost of a lookup pass (gated like every other probe), then
+	// a contended phase samples per-lookup latency into a histogram while a
+	// writer churns insert/delete batches — the read tail that used to sit
+	// behind the per-shard RWMutex writer convoy. One "op" is a pass over a
+	// fixed probe set so allocs/op is exactly per-pass.
+	{
+		edges := perfEdges(o.EdgesPerOp, vertices, 33)
+		probes := edges
+		if len(probes) > 512 {
+			probes = probes[:512]
+		}
+		p, err := core.NewParallel(core.DefaultConfig(), o.Shards)
+		if err != nil {
+			return rep, err
+		}
+		p.InsertBatch(edges)
+
+		res := measureOp(o, len(probes), func() {
+			for _, e := range probes {
+				p.FindEdge(e.Src, e.Dst)
+			}
+		})
+
+		hist := metrics.NewHistogram(metrics.LatencyBounds())
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			churn := perfEdges(o.EdgesPerOp/2, vertices, 35)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.InsertBatch(churn)
+				p.DeleteBatch(churn)
+			}
+		}()
+		deadline := time.Now().Add(o.MinTime)
+		for i := 0; time.Now().Before(deadline); i++ {
+			e := probes[i%len(probes)]
+			t0 := time.Now()
+			p.FindEdge(e.Src, e.Dst)
+			hist.ObserveDuration(time.Since(t0))
+		}
+		close(stop)
+		wg.Wait()
+		p.Close()
+
+		snap := hist.Snapshot()
+		res.ReadP50Ns = float64(snap.Quantile(0.50))
+		res.ReadP99Ns = float64(snap.Quantile(0.99))
+		res.ReadP999Ns = float64(snap.Quantile(0.999))
+		res.ReadLatency = &snap
+		res.Name = "parallel/concurrent-read"
+		rep.Results = append(rep.Results, res)
+	}
+
 	// ingest/push-flush: the streaming pipeline hot path — coalesce,
 	// partition, apply, drain to the read-your-writes barrier.
 	{
@@ -308,41 +386,120 @@ func (r PerfRegression) String() string {
 		r.Name, r.Metric, r.Baseline, r.Current, r.LimitPct)
 }
 
+// CompareOptions tunes ComparePerf's gates; zero values select defaults.
+type CompareOptions struct {
+	// TolerancePct is the relative envelope for the allocation metrics
+	// (allocs/op, B/op). A zero tolerance gates on the absolute slacks
+	// alone.
+	TolerancePct float64
+	// CompareNs also gates wall-clock ns/op within TolerancePct — opt-in,
+	// for runs on hardware comparable to the baseline's.
+	CompareNs bool
+	// LatencyTolerancePct is the relative envelope for the read-latency
+	// percentiles (default 400, i.e. 5x). Latency tails are far noisier
+	// than allocation counts, but the regression this gate exists to catch
+	// — a lookup stalling behind a writer convoy — moves the p99 from
+	// microseconds to whole batch-apply times, orders of magnitude past
+	// any scheduler noise. Negative disables the latency gate.
+	LatencyTolerancePct float64
+	// LatencySlackNs is the absolute slack added to every latency gate
+	// (default 250µs): CI machines are slow and shared, so sub-slack
+	// percentile wobble never trips the gate.
+	LatencySlackNs float64
+}
+
+func (c CompareOptions) withDefaults() CompareOptions {
+	if c.LatencyTolerancePct == 0 {
+		c.LatencyTolerancePct = 400
+	}
+	if c.LatencySlackNs <= 0 {
+		c.LatencySlackNs = 250_000
+	}
+	return c
+}
+
+// exceeds reports whether cur regresses past base under a relative scale
+// plus an absolute slack. A zero baseline gates on the absolute slack
+// alone: relative tolerance of zero is degenerate (any regression divides
+// into an infinite ratio, and 0*scale would let a 0 -> 1 alloc regression
+// through a pure percentage gate — the bug this helper replaces).
+func exceeds(base, cur, scale, slack float64) bool {
+	if base == 0 {
+		return cur > slack
+	}
+	return cur > base*scale+slack
+}
+
 // ComparePerf checks a sweep against a baseline. Allocation metrics
-// (allocs/op, B/op) are compared within tolerancePct — they are
+// (allocs/op, B/op) are compared within opts.TolerancePct — they are
 // deterministic across machines, so a committed baseline gates them in
-// CI. Wall-clock ns/op is compared only when compareNs is set, for runs
-// on hardware comparable to the baseline's; small absolute slacks (half
-// an alloc, 64 bytes) keep rounding from tripping zero-valued baselines.
-// Probes present in the baseline but missing from the run are regressions;
+// CI. Wall-clock ns/op is compared only when opts.CompareNs is set.
+// Read-latency percentiles (the concurrent-read probe's p50/p99/p999) are
+// gated whenever the baseline records them, under the wider latency
+// envelope — see CompareOptions. Small absolute slacks (half an alloc,
+// 64 bytes, LatencySlackNs) keep measurement rounding from tripping
+// zero-valued or near-zero baselines; zero baselines gate on the slack
+// alone. Probes present in the baseline but missing from the run are
+// regressions, as is a baseline-recorded latency metric the run dropped;
 // new probes absent from the baseline pass silently (they gate the next
 // baseline refresh instead).
-func ComparePerf(baseline, current PerfReport, tolerancePct float64, compareNs bool) []PerfRegression {
+func ComparePerf(baseline, current PerfReport, opts CompareOptions) []PerfRegression {
+	opts = opts.withDefaults()
 	var regs []PerfRegression
-	scale := 1 + tolerancePct/100
+	scale := 1 + opts.TolerancePct/100
+	latScale := 1 + opts.LatencyTolerancePct/100
 	for _, base := range baseline.Results {
 		cur, ok := current.Result(base.Name)
 		if !ok {
 			regs = append(regs, PerfRegression{Name: base.Name, Metric: "missing"})
 			continue
 		}
-		if cur.AllocsPerOp > base.AllocsPerOp*scale+0.5 {
+		if exceeds(base.AllocsPerOp, cur.AllocsPerOp, scale, 0.5) {
 			regs = append(regs, PerfRegression{
 				Name: base.Name, Metric: "allocs/op",
-				Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp, LimitPct: tolerancePct,
+				Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp, LimitPct: opts.TolerancePct,
 			})
 		}
-		if cur.BytesPerOp > base.BytesPerOp*scale+64 {
+		if exceeds(base.BytesPerOp, cur.BytesPerOp, scale, 64) {
 			regs = append(regs, PerfRegression{
 				Name: base.Name, Metric: "B/op",
-				Baseline: base.BytesPerOp, Current: cur.BytesPerOp, LimitPct: tolerancePct,
+				Baseline: base.BytesPerOp, Current: cur.BytesPerOp, LimitPct: opts.TolerancePct,
 			})
 		}
-		if compareNs && cur.NsPerOp > base.NsPerOp*scale {
+		if opts.CompareNs && exceeds(base.NsPerOp, cur.NsPerOp, scale, 0) {
 			regs = append(regs, PerfRegression{
 				Name: base.Name, Metric: "ns/op",
-				Baseline: base.NsPerOp, Current: cur.NsPerOp, LimitPct: tolerancePct,
+				Baseline: base.NsPerOp, Current: cur.NsPerOp, LimitPct: opts.TolerancePct,
 			})
+		}
+		if opts.LatencyTolerancePct >= 0 {
+			for _, m := range []struct {
+				metric    string
+				base, cur float64
+			}{
+				{"read-p50", base.ReadP50Ns, cur.ReadP50Ns},
+				{"read-p99", base.ReadP99Ns, cur.ReadP99Ns},
+				{"read-p999", base.ReadP999Ns, cur.ReadP999Ns},
+			} {
+				if m.base <= 0 {
+					continue // baseline never recorded this percentile
+				}
+				if m.cur <= 0 {
+					// The run stopped recording a latency the baseline
+					// gates — treat like a vanished probe, not a pass.
+					regs = append(regs, PerfRegression{
+						Name: base.Name, Metric: m.metric + " missing",
+						Baseline: m.base, Current: 0, LimitPct: opts.LatencyTolerancePct,
+					})
+					continue
+				}
+				if exceeds(m.base, m.cur, latScale, opts.LatencySlackNs) {
+					regs = append(regs, PerfRegression{
+						Name: base.Name, Metric: m.metric,
+						Baseline: m.base, Current: m.cur, LimitPct: opts.LatencyTolerancePct,
+					})
+				}
+			}
 		}
 	}
 	return regs

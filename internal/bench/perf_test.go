@@ -15,13 +15,15 @@ func perfFixture() PerfReport {
 			{Name: "core/insert-steady", NsPerOp: 600000, AllocsPerOp: 0, BytesPerOp: 0, EdgesPerOp: 4096},
 			{Name: "ingest/push-flush", NsPerOp: 500000, AllocsPerOp: 1, BytesPerOp: 112, EdgesPerOp: 4096},
 			{Name: "wal/append", NsPerOp: 30000, AllocsPerOp: 0, BytesPerOp: 32, EdgesPerOp: 512},
+			{Name: "parallel/concurrent-read", NsPerOp: 40000, AllocsPerOp: 0, BytesPerOp: 0, EdgesPerOp: 512,
+				ReadP50Ns: 512, ReadP99Ns: 8192, ReadP999Ns: 65536},
 		},
 	}
 }
 
 func TestComparePerfPassesIdentical(t *testing.T) {
 	base := perfFixture()
-	if regs := ComparePerf(base, base, 10, true); len(regs) != 0 {
+	if regs := ComparePerf(base, base, CompareOptions{TolerancePct: 10, CompareNs: true}); len(regs) != 0 {
 		t.Fatalf("identical reports flagged: %v", regs)
 	}
 }
@@ -33,13 +35,36 @@ func TestComparePerfAbsoluteSlack(t *testing.T) {
 	// measurement rounding can't trip them.
 	cur.Results[0].AllocsPerOp = 0.4
 	cur.Results[0].BytesPerOp = 60
-	if regs := ComparePerf(base, cur, 10, false); len(regs) != 0 {
+	if regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10}); len(regs) != 0 {
 		t.Fatalf("within-slack drift flagged: %v", regs)
 	}
 	cur.Results[0].AllocsPerOp = 0.6
-	regs := ComparePerf(base, cur, 10, false)
+	regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10})
 	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
 		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+// TestComparePerfZeroBaselineGatesAbsolutely is the regression test for
+// the zero-baseline bug: a probe whose baseline is 0 allocs/op must gate
+// on the absolute slack alone, so 0 -> 1 alloc fails regardless of the
+// relative tolerance (a pure percentage of zero is zero, which would wave
+// any regression through — or, divided the other way, a degenerate
+// infinite ratio).
+func TestComparePerfZeroBaselineGatesAbsolutely(t *testing.T) {
+	base := perfFixture()
+	cur := perfFixture()
+	cur.Results[0].AllocsPerOp = 1 // 0 -> 1: a real regression, past the 0.5 slack
+	regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 1000})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("0 -> 1 alloc passed a zero baseline even at huge tolerance: %v", regs)
+	}
+
+	cur = perfFixture()
+	cur.Results[0].BytesPerOp = 128 // 0 -> 128 B: past the 64 B slack
+	regs = ComparePerf(base, cur, CompareOptions{TolerancePct: 1000})
+	if len(regs) != 1 || regs[0].Metric != "B/op" {
+		t.Fatalf("0 -> 128 B passed a zero baseline: %v", regs)
 	}
 }
 
@@ -48,7 +73,7 @@ func TestComparePerfGatesAllocsAndBytes(t *testing.T) {
 	cur := perfFixture()
 	cur.Results[1].AllocsPerOp = 4   // 1 -> 4
 	cur.Results[1].BytesPerOp = 9000 // 112 -> 9000
-	regs := ComparePerf(base, cur, 10, false)
+	regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10})
 	if len(regs) != 2 {
 		t.Fatalf("want 2 regressions, got %v", regs)
 	}
@@ -68,27 +93,62 @@ func TestComparePerfNsOptIn(t *testing.T) {
 	base := perfFixture()
 	cur := perfFixture()
 	cur.Results[0].NsPerOp = base.Results[0].NsPerOp * 3
-	if regs := ComparePerf(base, cur, 10, false); len(regs) != 0 {
+	if regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10}); len(regs) != 0 {
 		t.Fatalf("ns/op gated without -compare-ns: %v", regs)
 	}
-	regs := ComparePerf(base, cur, 10, true)
+	regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10, CompareNs: true})
 	if len(regs) != 1 || regs[0].Metric != "ns/op" {
 		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+}
+
+// TestComparePerfGatesReadLatency covers the concurrent-read latency
+// gate: percentile wobble within the wide envelope passes, a convoy-scale
+// blowup fails, and a latency metric the baseline records but the run
+// dropped is flagged rather than silently passed.
+func TestComparePerfGatesReadLatency(t *testing.T) {
+	base := perfFixture()
+	cur := perfFixture()
+	// 3x the p99 plus well under the absolute slack: noise, not a convoy.
+	cur.Results[3].ReadP99Ns = base.Results[3].ReadP99Ns * 3
+	if regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10}); len(regs) != 0 {
+		t.Fatalf("within-envelope latency wobble flagged: %v", regs)
+	}
+
+	// A writer convoy moves the p99 to batch-apply scale: milliseconds.
+	cur.Results[3].ReadP99Ns = 5_000_000
+	regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10})
+	if len(regs) != 1 || regs[0].Metric != "read-p99" {
+		t.Fatalf("want one read-p99 regression, got %v", regs)
+	}
+
+	// Negative latency tolerance disables the gate.
+	if regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10, LatencyTolerancePct: -1}); len(regs) != 0 {
+		t.Fatalf("latency gated with a negative tolerance: %v", regs)
+	}
+
+	// Dropping a baseline-recorded percentile is a regression, not a pass.
+	cur = perfFixture()
+	cur.Results[3].ReadP999Ns = 0
+	regs = ComparePerf(base, cur, CompareOptions{TolerancePct: 10})
+	if len(regs) != 1 || regs[0].Metric != "read-p999 missing" {
+		t.Fatalf("want read-p999 missing regression, got %v", regs)
 	}
 }
 
 func TestComparePerfMissingProbe(t *testing.T) {
 	base := perfFixture()
 	cur := perfFixture()
-	cur.Results = cur.Results[:2] // drop wal/append
-	regs := ComparePerf(base, cur, 10, false)
-	if len(regs) != 1 || regs[0].Metric != "missing" || regs[0].Name != "wal/append" {
-		t.Fatalf("want missing-probe regression for wal/append, got %v", regs)
+	cur.Results = cur.Results[:2] // drop wal/append and parallel/concurrent-read
+	regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10})
+	if len(regs) != 2 || regs[0].Metric != "missing" || regs[0].Name != "wal/append" ||
+		regs[1].Metric != "missing" || regs[1].Name != "parallel/concurrent-read" {
+		t.Fatalf("want missing-probe regressions for wal/append and parallel/concurrent-read, got %v", regs)
 	}
 	// New probes in the current run (absent from the baseline) pass.
 	cur = perfFixture()
 	cur.Results = append(cur.Results, PerfResult{Name: "new/probe", AllocsPerOp: 99})
-	if regs := ComparePerf(base, cur, 10, false); len(regs) != 0 {
+	if regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10}); len(regs) != 0 {
 		t.Fatalf("baseline-absent probe flagged: %v", regs)
 	}
 }
@@ -98,11 +158,11 @@ func TestComparePerfTolerance(t *testing.T) {
 	base.Results[1].BytesPerOp = 10000
 	cur := perfFixture()
 	cur.Results[1].BytesPerOp = 10900 // +9% on a 10% gate
-	if regs := ComparePerf(base, cur, 10, false); len(regs) != 0 {
+	if regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10}); len(regs) != 0 {
 		t.Fatalf("+9%% flagged at 10%% tolerance: %v", regs)
 	}
 	cur.Results[1].BytesPerOp = 11200 // +12%
-	regs := ComparePerf(base, cur, 10, false)
+	regs := ComparePerf(base, cur, CompareOptions{TolerancePct: 10})
 	if len(regs) != 1 || regs[0].Metric != "B/op" {
 		t.Fatalf("want B/op regression at +12%%, got %v", regs)
 	}
@@ -129,6 +189,7 @@ func TestRunPerfSweepShort(t *testing.T) {
 		"core/insert-steady",
 		"parallel/insert-steady",
 		"parallel/insert-delete",
+		"parallel/concurrent-read",
 		"ingest/push-flush",
 		"wal/append",
 	}
@@ -147,6 +208,13 @@ func TestRunPerfSweepShort(t *testing.T) {
 			t.Fatalf("probe %q has negative alloc metrics: %+v", name, res)
 		}
 	}
+	cr, _ := rep.Result("parallel/concurrent-read")
+	if cr.ReadP50Ns <= 0 || cr.ReadP99Ns < cr.ReadP50Ns || cr.ReadP999Ns < cr.ReadP99Ns {
+		t.Fatalf("concurrent-read percentiles degenerate or out of order: %+v", cr)
+	}
+	if cr.ReadLatency == nil || cr.ReadLatency.Count == 0 {
+		t.Fatalf("concurrent-read histogram snapshot missing: %+v", cr)
+	}
 	raw, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
@@ -155,7 +223,7 @@ func TestRunPerfSweepShort(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if regs := ComparePerf(back, rep, 0, true); len(regs) != 0 {
+	if regs := ComparePerf(back, rep, CompareOptions{CompareNs: true}); len(regs) != 0 {
 		t.Fatalf("round-tripped report differs from itself: %v", regs)
 	}
 }

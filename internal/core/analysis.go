@@ -72,6 +72,49 @@ func (gt *GraphTinker) AnalyzeProbes() ProbeHistogram {
 	return h
 }
 
+// AnalyzeProbes merges the probe/generation histograms of every shard.
+// Each shard is analyzed on a version-pinned replica (see seqlock.go), so
+// the walk is safe against concurrent batch updates and never observes a
+// half-applied batch; shards are pinned one at a time, so the merged
+// histogram is per-shard-consistent like ForEachEdge.
+func (p *Parallel) AnalyzeProbes() ProbeHistogram {
+	var merged ProbeHistogram
+	for i := range p.sc {
+		h := p.shardAnalyzeProbes(i)
+		if merged.ByProbe == nil {
+			merged = h
+			continue
+		}
+		for len(merged.ByProbe) < len(h.ByProbe) {
+			merged.ByProbe = append(merged.ByProbe, 0)
+		}
+		for j, c := range h.ByProbe {
+			merged.ByProbe[j] += c
+		}
+		for len(merged.ByGeneration) < len(h.ByGeneration) {
+			merged.ByGeneration = append(merged.ByGeneration, 0)
+		}
+		for j, c := range h.ByGeneration {
+			merged.ByGeneration[j] += c
+		}
+		if h.MaxProbe > merged.MaxProbe {
+			merged.MaxProbe = h.MaxProbe
+		}
+		if h.MaxGeneration > merged.MaxGeneration {
+			merged.MaxGeneration = h.MaxGeneration
+		}
+	}
+	return merged
+}
+
+// shardAnalyzeProbes analyzes one shard on a pinned replica.
+func (p *Parallel) shardAnalyzeProbes(i int) ProbeHistogram {
+	sc := &p.sc[i]
+	g, idx := sc.pinRead()
+	defer sc.unpin(idx)
+	return g.AnalyzeProbes()
+}
+
 func (gt *GraphTinker) analyzeBlock(blk int32, gen int, h *ProbeHistogram) {
 	for len(h.ByGeneration) <= gen {
 		h.ByGeneration = append(h.ByGeneration, 0)

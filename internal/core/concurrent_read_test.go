@@ -6,7 +6,9 @@ package core
 // test hammers it under the race detector.
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -154,6 +156,123 @@ func TestParallelStatsSnapshotMidBatch(t *testing.T) {
 	}
 	if merged != p.Stats() {
 		t.Fatalf("quiescent ShardStats sum %+v != Stats %+v", merged, p.Stats())
+	}
+}
+
+// TestParallelTornReadDifferential is the seqlock's differential oracle:
+// a writer applies a sequence of tagged, disjoint batches (every edge of
+// batch k carries weight k+1) while per-shard readers scan continuously.
+// Because a shard scan runs on one version-pinned replica, every observed
+// state must be some exact point in the applied sequence — so for each
+// batch the scan sees either all of its edges routed to the shard or none
+// (no half-applied batch), and during the insert phase the set of fully
+// visible batches must be a prefix of the sequence (during the delete
+// phase, a suffix). Any torn read trips one of the three assertions.
+func TestParallelTornReadDifferential(t *testing.T) {
+	const (
+		shards    = 4
+		batches   = 24
+		batchSize = 400
+	)
+	p, err := NewParallel(DefaultConfig(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Disjoint tagged batches plus the per-shard per-batch oracle counts.
+	all := make([][]Edge, batches)
+	want := make([][]uint64, batches)
+	for k := range all {
+		want[k] = make([]uint64, shards)
+		for j := 0; j < batchSize; j++ {
+			e := Edge{
+				Src:    uint64((k*batchSize + j) % 97),
+				Dst:    uint64(k*batchSize + j + 1000), // globally unique => batches disjoint
+				Weight: float32(k + 1),
+			}
+			all[k] = append(all[k], e)
+			want[k][p.ShardOf(e.Src)]++
+		}
+	}
+
+	var phase atomic.Int32 // 1: inserting in order, 2: deleting in order
+	phase.Store(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	fail := func(msg string) {
+		if failed.CompareAndSwap(false, true) {
+			t.Error(msg)
+		}
+	}
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			counts := make([]uint64, batches)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range counts {
+					counts[i] = 0
+				}
+				ph1 := phase.Load()
+				p.ForEachShardEdge(s, func(src, dst uint64, w float32) bool {
+					k := int(w) - 1
+					if k < 0 || k >= batches {
+						fail("scan observed an edge with an unknown batch tag")
+						return false
+					}
+					counts[k]++
+					return true
+				})
+				ph2 := phase.Load()
+				prevFull := true
+				seenLive := false
+				for k := 0; k < batches; k++ {
+					full := counts[k] == want[k][s]
+					if !full && counts[k] != 0 {
+						fail(fmt.Sprintf("shard %d: torn read: batch %d visible with %d of %d edges",
+							s, k, counts[k], want[k][s]))
+						return
+					}
+					// Insert phase (stable across the scan): visible batches
+					// form a prefix of the applied order.
+					if ph1 == 1 && ph2 == 1 && full && !prevFull {
+						fail(fmt.Sprintf("shard %d: batch %d visible before batch %d (non-prefix state)", s, k, k-1))
+						return
+					}
+					// Delete phase: deletions also apply in order, so live
+					// batches form a suffix — a hole means a scan straddled
+					// a batch boundary it must not see.
+					if ph1 == 2 && seenLive && counts[k] == 0 && want[k][s] != 0 {
+						fail(fmt.Sprintf("shard %d: batch %d gone while an earlier batch is still live (non-suffix state)", s, k))
+						return
+					}
+					prevFull = full
+					if counts[k] != 0 {
+						seenLive = true
+					}
+				}
+			}
+		}(s)
+	}
+
+	for k := 0; k < batches; k++ {
+		p.InsertBatch(all[k])
+	}
+	phase.Store(2)
+	for k := 0; k < batches; k++ {
+		p.DeleteBatch(all[k])
+	}
+	close(stop)
+	wg.Wait()
+	if n := p.NumEdges(); n != 0 {
+		t.Fatalf("differential end state: %d edges left, want 0", n)
 	}
 }
 

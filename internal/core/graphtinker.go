@@ -28,7 +28,14 @@ type GraphTinker struct {
 	maxRawID uint64 // highest raw vertex id observed (src or dst), +1 = id space
 	sawAny   bool
 
-	stats statsCounters
+	// statsStore is the instance's owned counters. stats is the recording
+	// target the operation paths increment through; it normally points at
+	// statsStore, but the Parallel wrapper's seqlock retargets it to a
+	// scratch sink while replaying a batch onto a stale replica, so each
+	// logical operation is counted exactly once across the replica pair
+	// (see seqlock.go). Stats/ResetStats always address statsStore.
+	statsStore statsCounters
+	stats      *statsCounters
 
 	// rec, when non-nil, receives per-operation latency and probe-distance
 	// samples on the update paths (see Instrument).
@@ -46,6 +53,7 @@ func New(cfg Config) (*GraphTinker, error) {
 		eba:   newEdgeblockArray(newGeometry(cfg), cfg.InitialVertexCapacity),
 		props: newVertexProps(cfg.InitialVertexCapacity),
 	}
+	gt.stats = &gt.statsStore
 	if cfg.EnableSGH {
 		gt.sgh = newScatterGather(cfg.InitialVertexCapacity)
 	}
@@ -178,10 +186,10 @@ func (gt *GraphTinker) SetVertexValue(src uint64, v float64) bool {
 // are atomics, so snapshots taken while another goroutine mutates the
 // instance (e.g. mid-batch on a sibling shard, or concurrent FindEdge
 // readers) are race-clean.
-func (gt *GraphTinker) Stats() Stats { return gt.stats.snapshot() }
+func (gt *GraphTinker) Stats() Stats { return gt.statsStore.snapshot() }
 
 // ResetStats clears the operation counters (batch-scoped measurements).
-func (gt *GraphTinker) ResetStats() { gt.stats.reset() }
+func (gt *GraphTinker) ResetStats() { gt.statsStore.reset() }
 
 // Instrument attaches an update-path recorder: every InsertEdge, DeleteEdge
 // and FindEdge afterwards records its wall latency and probe distance

@@ -14,17 +14,21 @@ import (
 // pure function of its source id, no two workers ever touch the same
 // instance.
 //
-// Concurrency contract: every shard is protected by its own sync.RWMutex.
-// Mutators (InsertBatch, DeleteBatch, InsertEdge, DeleteEdge, ApplyShard)
-// take the owning shard's write lock; queries (FindEdge, OutDegree,
-// ForEachOutEdge, ForEachEdge, ForEachShardEdge, NumEdges, MaxVertexID)
-// take read locks, so readers run safely while a streaming ingestion
-// pipeline drains into other shards — and block only on the shard currently
-// being written. Iteration callbacks must not call back into the same
-// Parallel: a reader re-entering while a writer waits on the same shard
-// would deadlock (RWMutex read locks are not reentrant under writer
-// pressure). Direct Shard(i) access bypasses the locks entirely and is only
-// safe when the caller has quiesced all writers.
+// Concurrency contract: readers are lock-free. Each shard carries a
+// seqlock — an atomic version counter plus a double-buffered replica pair
+// (see seqlock.go) — and every query (FindEdge, OutDegree, ForEachOutEdge,
+// ForEachEdge, ForEachShardEdge, NumEdges, MaxVertexID, AnalyzeProbes)
+// snapshots the version, reads a pinned replica without taking any lock,
+// and retries only on a torn observation. Readers therefore never block on
+// a batch apply: a query issued mid-batch sees the shard's last published
+// state. Mutators (InsertBatch, DeleteBatch, InsertEdge, DeleteEdge,
+// ApplyShard) keep mutual exclusion per shard via a writer mutex; they
+// write the off replica, publish it by bumping the version, and reconverge
+// the stale replica after the reader grace period. Iteration callbacks may
+// query this Parallel re-entrantly (pins nest), but must not mutate it: a
+// writer waits for the caller's own pin to drain and would deadlock.
+// Direct Shard(i) access bypasses the version protocol entirely and is
+// only safe when the caller has quiesced all writers.
 //
 // Batch lifecycle: the first InsertBatch/DeleteBatch lazily starts the
 // per-shard workers, and the staging buffers they are fed from are reused
@@ -35,10 +39,10 @@ import (
 // shard fan-out still runs in parallel); after Close they degrade to an
 // inline sequential apply, so late callers stay correct.
 type Parallel struct {
-	cfg    Config
-	shards []*GraphTinker
-	locks  []sync.RWMutex
-	seed   uint64
+	cfg  Config
+	sc   []shardCtl   // per-shard seqlock state: version, replica pair, pins
+	wmu  []sync.Mutex // per-shard writer mutual exclusion
+	seed uint64
 
 	// batchMu serializes the batch staging path: parts, results and
 	// batchWG below are reused across InsertBatch/DeleteBatch calls, and
@@ -87,55 +91,44 @@ func NewParallel(cfg Config, p int) (*Parallel, error) {
 		return nil, err
 	}
 	par := &Parallel{
-		cfg:    cfg,
-		shards: make([]*GraphTinker, p),
-		locks:  make([]sync.RWMutex, p),
-		seed:   cfg.HashSeed ^ 0xa24baed4963ee407,
+		cfg:  cfg,
+		sc:   make([]shardCtl, p),
+		wmu:  make([]sync.Mutex, p),
+		seed: cfg.HashSeed ^ 0xa24baed4963ee407,
 	}
-	for i := range par.shards {
-		shardCfg := cfg
-		par.shards[i] = MustNew(shardCfg)
+	for i := range par.sc {
+		par.sc[i].init(cfg)
 	}
 	return par, nil
 }
 
 // Shards returns the number of parallel instances.
-func (p *Parallel) Shards() int { return len(p.shards) }
+func (p *Parallel) Shards() int { return len(p.sc) }
 
-// Shard exposes instance i (read-only use; mutating it directly bypasses
-// the partitioning invariant and the per-shard locks).
-func (p *Parallel) Shard(i int) *GraphTinker { return p.shards[i] }
+// Shard exposes the active replica of instance i. Mutating it directly
+// bypasses the partitioning invariant and the seqlock, and even reading it
+// is only safe when the caller has quiesced all writers (otherwise the
+// replica may be reconverging under a concurrent batch).
+func (p *Parallel) Shard(i int) *GraphTinker { return p.sc[i].quiescedInstance() }
 
 // shardOf routes a source vertex to its instance.
-func (p *Parallel) shardOf(src uint64) int { return shardFor(src, p.seed, len(p.shards)) }
+func (p *Parallel) shardOf(src uint64) int { return shardFor(src, p.seed, len(p.sc)) }
 
 // ShardOf reports which shard owns edges sourced at src — the partition
 // function streaming pipelines use to pre-route updates.
 func (p *Parallel) ShardOf(src uint64) int { return p.shardOf(src) }
 
-// ApplyShard applies an ordered op sequence to one shard under its write
-// lock, returning how many inserts were new and how many deletes hit a
+// ApplyShard applies an ordered op sequence to one shard under its writer
+// mutex, returning how many inserts were new and how many deletes hit a
 // live edge. Every op must be owned by the given shard (ShardOf(op.Src) ==
 // shard); routing is the caller's job so the hot loop stays branch-light.
 func (p *Parallel) ApplyShard(shard int, ops []EdgeOp) (inserted, deleted int) {
 	if len(ops) == 0 {
 		return 0, 0
 	}
-	p.locks[shard].Lock()
-	defer p.locks[shard].Unlock()
-	s := p.shards[shard]
-	for _, op := range ops {
-		if op.Del {
-			if s.DeleteEdge(op.Src, op.Dst) {
-				deleted++
-			}
-		} else {
-			if s.InsertEdge(op.Src, op.Dst, op.Weight) {
-				inserted++
-			}
-		}
-	}
-	return inserted, deleted
+	p.wmu[shard].Lock()
+	defer p.wmu[shard].Unlock()
+	return p.sc[shard].applyOpsLocked(ops)
 }
 
 // stageLocked partitions a batch into the reusable per-shard staging
@@ -144,8 +137,8 @@ func (p *Parallel) ApplyShard(shard int, ops []EdgeOp) (inserted, deleted int) {
 // single-pass and allocation-free. Caller holds p.batchMu.
 func (p *Parallel) stageLocked(edges []Edge) {
 	if p.parts == nil {
-		p.parts = make([][]Edge, len(p.shards))
-		p.results = make([]int, len(p.shards))
+		p.parts = make([][]Edge, len(p.sc))
+		p.results = make([]int, len(p.sc))
 	}
 	for i := range p.parts {
 		p.parts[i] = p.parts[i][:0]
@@ -160,7 +153,7 @@ func (p *Parallel) stageLocked(edges []Edge) {
 // channels have capacity 1 so dispatch never waits for a worker wakeup.
 // Caller holds p.batchMu.
 func (p *Parallel) startWorkersLocked() {
-	p.work = make([]chan shardWork, len(p.shards))
+	p.work = make([]chan shardWork, len(p.sc))
 	for i := range p.work {
 		p.work[i] = make(chan shardWork, 1)
 	}
@@ -171,20 +164,15 @@ func (p *Parallel) startWorkersLocked() {
 }
 
 // runWorker is shard i's persistent batch worker: it applies sub-batches
-// under the shard's write lock until its channel closes. results[i] is its
-// private slot — the WaitGroup Done/Wait pair orders the write against the
-// dispatcher's read.
+// under the shard's writer mutex until its channel closes. results[i] is
+// its private slot — the WaitGroup Done/Wait pair orders the write against
+// the dispatcher's read.
 func (p *Parallel) runWorker(i int, ch <-chan shardWork) {
 	defer p.workerWG.Done()
 	for w := range ch {
-		p.locks[i].Lock()
-		var n int
-		if w.del {
-			n = p.shards[i].DeleteBatch(w.edges)
-		} else {
-			n = p.shards[i].InsertBatch(w.edges)
-		}
-		p.locks[i].Unlock()
+		p.wmu[i].Lock()
+		n := p.sc[i].applyBatchLocked(w.edges, w.del)
+		p.wmu[i].Unlock()
 		p.results[i] = n
 		p.batchWG.Done()
 	}
@@ -207,13 +195,9 @@ func (p *Parallel) runBatch(edges []Edge, del bool) int {
 			if len(part) == 0 {
 				continue
 			}
-			p.locks[i].Lock()
-			if del {
-				total += p.shards[i].DeleteBatch(part)
-			} else {
-				total += p.shards[i].InsertBatch(part)
-			}
-			p.locks[i].Unlock()
+			p.wmu[i].Lock()
+			total += p.sc[i].applyBatchLocked(part, del)
+			p.wmu[i].Unlock()
 		}
 		return total
 	}
@@ -264,55 +248,70 @@ func (p *Parallel) Close() {
 // InsertEdge routes a single insertion to its shard.
 func (p *Parallel) InsertEdge(src, dst uint64, w float32) bool {
 	i := p.shardOf(src)
-	p.locks[i].Lock()
-	defer p.locks[i].Unlock()
-	return p.shards[i].InsertEdge(src, dst, w)
+	p.wmu[i].Lock()
+	defer p.wmu[i].Unlock()
+	return p.sc[i].insertLocked(src, dst, w)
 }
 
 // DeleteEdge routes a single deletion to its shard.
 func (p *Parallel) DeleteEdge(src, dst uint64) bool {
 	i := p.shardOf(src)
-	p.locks[i].Lock()
-	defer p.locks[i].Unlock()
-	return p.shards[i].DeleteEdge(src, dst)
+	p.wmu[i].Lock()
+	defer p.wmu[i].Unlock()
+	return p.sc[i].deleteLocked(src, dst)
 }
 
-// FindEdge routes a lookup to its shard.
+// FindEdge routes a lookup to its shard. Lock-free: the lookup runs on a
+// version-pinned replica and never waits on writers.
 func (p *Parallel) FindEdge(src, dst uint64) (float32, bool) {
-	i := p.shardOf(src)
-	p.locks[i].RLock()
-	defer p.locks[i].RUnlock()
-	return p.shards[i].FindEdge(src, dst)
+	sc := &p.sc[p.shardOf(src)]
+	g, idx := sc.pinRead()
+	defer sc.unpin(idx)
+	return g.FindEdge(src, dst)
 }
 
-// OutDegree routes a degree query to its shard.
+// OutDegree routes a degree query to its shard (lock-free, see FindEdge).
 func (p *Parallel) OutDegree(src uint64) uint32 {
-	i := p.shardOf(src)
-	p.locks[i].RLock()
-	defer p.locks[i].RUnlock()
-	return p.shards[i].OutDegree(src)
+	sc := &p.sc[p.shardOf(src)]
+	g, idx := sc.pinRead()
+	defer sc.unpin(idx)
+	return g.OutDegree(src)
+}
+
+// shardNumEdges reads one shard's live-edge count on a pinned replica.
+func (p *Parallel) shardNumEdges(i int) uint64 {
+	sc := &p.sc[i]
+	g, idx := sc.pinRead()
+	defer sc.unpin(idx)
+	return g.NumEdges()
 }
 
 // NumEdges sums live edges across shards. Concurrent writers may land in
-// or out of the sum; each shard's contribution is a consistent point read.
+// or out of the sum; each shard's contribution is a consistent point read
+// of its last published state.
 func (p *Parallel) NumEdges() uint64 {
 	var n uint64
-	for i, s := range p.shards {
-		p.locks[i].RLock()
-		n += s.NumEdges()
-		p.locks[i].RUnlock()
+	for i := range p.sc {
+		n += p.shardNumEdges(i)
 	}
 	return n
+}
+
+// shardMaxVertexID reads one shard's id high-water mark on a pinned
+// replica.
+func (p *Parallel) shardMaxVertexID(i int) (uint64, bool) {
+	sc := &p.sc[i]
+	g, idx := sc.pinRead()
+	defer sc.unpin(idx)
+	return g.MaxVertexID()
 }
 
 // MaxVertexID returns the highest raw vertex id seen by any shard.
 func (p *Parallel) MaxVertexID() (uint64, bool) {
 	var maxID uint64
 	saw := false
-	for i, s := range p.shards {
-		p.locks[i].RLock()
-		id, ok := s.MaxVertexID()
-		p.locks[i].RUnlock()
+	for i := range p.sc {
+		id, ok := p.shardMaxVertexID(i)
 		if ok {
 			if !saw || id > maxID {
 				maxID = id
@@ -323,57 +322,62 @@ func (p *Parallel) MaxVertexID() (uint64, bool) {
 	return maxID, saw
 }
 
-// ForEachOutEdge routes the per-vertex walk to the owning shard. The
-// callback must not call back into this Parallel (see the type comment).
+// ForEachOutEdge routes the per-vertex walk to the owning shard. The whole
+// walk runs on one pinned replica, so it observes an atomic batch
+// boundary. The callback may query this Parallel but must not mutate it
+// (see the type comment).
 func (p *Parallel) ForEachOutEdge(src uint64, fn func(dst uint64, w float32) bool) {
-	i := p.shardOf(src)
-	p.locks[i].RLock()
-	defer p.locks[i].RUnlock()
-	p.shards[i].ForEachOutEdge(src, fn)
+	sc := &p.sc[p.shardOf(src)]
+	g, idx := sc.pinRead()
+	defer sc.unpin(idx)
+	g.ForEachOutEdge(src, fn)
 }
 
 // ForEachEdge streams all edges shard by shard. The walk is
-// per-shard-consistent: each shard is read-locked for its own scan, so a
-// concurrent pipeline can be mutating shard j while shard i streams.
+// per-shard-consistent: each shard is scanned on one pinned replica, so a
+// scan never observes a half-applied batch, and a concurrent pipeline can
+// be mutating shard j while shard i streams.
 func (p *Parallel) ForEachEdge(fn func(src, dst uint64, w float32) bool) {
 	stopped := false
-	for i, s := range p.shards {
+	for i := range p.sc {
 		if stopped {
 			return
 		}
-		p.locks[i].RLock()
-		s.ForEachEdge(func(src, dst uint64, w float32) bool {
+		p.ForEachShardEdge(i, func(src, dst uint64, w float32) bool {
 			if !fn(src, dst, w) {
 				stopped = true
 				return false
 			}
 			return true
 		})
-		p.locks[i].RUnlock()
 	}
 }
 
 // NumShards reports the shard count (the engine's parallel-processing
 // surface).
-func (p *Parallel) NumShards() int { return len(p.shards) }
+func (p *Parallel) NumShards() int { return len(p.sc) }
 
-// ForEachShardEdge streams the live edges held by one shard under its read
-// lock. Safe to call concurrently for distinct (or even the same) shards.
+// ForEachShardEdge streams the live edges held by one shard on a pinned
+// replica. Safe to call concurrently for distinct (or even the same)
+// shards, and never blocks a writer for longer than the scan itself.
 func (p *Parallel) ForEachShardEdge(shard int, fn func(src, dst uint64, w float32) bool) {
-	p.locks[shard].RLock()
-	defer p.locks[shard].RUnlock()
-	p.shards[shard].ForEachEdge(fn)
+	sc := &p.sc[shard]
+	g, idx := sc.pinRead()
+	defer sc.unpin(idx)
+	g.ForEachEdge(fn)
 }
 
 // Stats merges the counters of every shard. The per-shard counters are
 // atomics, so merging is race-clean even while a concurrent batch update is
 // in flight (the snapshot may straddle in-flight operations, but every
 // field is individually consistent). No locks are taken: Stats stays
-// wait-free so telemetry never stalls behind a long shard scan.
+// wait-free so telemetry never stalls behind a long shard scan. Each
+// logical operation is counted exactly once across a shard's replica pair
+// (see seqlock.go).
 func (p *Parallel) Stats() Stats {
 	var total Stats
-	for _, s := range p.shards {
-		total.Add(s.Stats())
+	for i := range p.sc {
+		total.Add(p.sc[i].statsSnapshot())
 	}
 	return total
 }
@@ -381,29 +385,32 @@ func (p *Parallel) Stats() Stats {
 // ShardStats snapshots each shard's counters individually — the per-shard
 // telemetry surface. Like Stats it is safe to call mid-batch.
 func (p *Parallel) ShardStats() []Stats {
-	out := make([]Stats, len(p.shards))
-	for i, s := range p.shards {
-		out[i] = s.Stats()
+	out := make([]Stats, len(p.sc))
+	for i := range p.sc {
+		out[i] = p.sc[i].statsSnapshot()
 	}
 	return out
 }
 
 // Instrument attaches one shared update-path recorder to every shard, so a
 // single set of latency/probe histograms covers the whole sharded store.
-// The recorder's instruments are atomic, making concurrent per-shard batch
-// goroutines and mid-batch snapshot readers race-clean. A nil rec
-// detaches. Do not attach or detach while a batch is in flight.
+// Both replicas of each shard get the same recorder; catch-up replays
+// detach it while they run, so each logical operation is sampled exactly
+// once. A nil rec detaches. Do not attach or detach while a batch is in
+// flight.
 func (p *Parallel) Instrument(rec *metrics.UpdateRecorder) {
-	for i, s := range p.shards {
-		p.locks[i].Lock()
-		s.Instrument(rec)
-		p.locks[i].Unlock()
+	for i := range p.sc {
+		p.wmu[i].Lock()
+		p.sc[i].instrumentLocked(rec)
+		p.wmu[i].Unlock()
 	}
 }
 
-// ResetStats clears the counters of every shard.
+// ResetStats clears the counters of every shard (both replicas).
 func (p *Parallel) ResetStats() {
-	for _, s := range p.shards {
-		s.ResetStats()
+	for i := range p.sc {
+		p.wmu[i].Lock()
+		p.sc[i].resetStatsLocked()
+		p.wmu[i].Unlock()
 	}
 }

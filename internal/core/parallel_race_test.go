@@ -1,9 +1,10 @@
 package core
 
-// Concurrent stress for the sharded store's per-shard RWMutex contract:
-// mutators (InsertBatch / DeleteBatch / single-edge ops / ApplyShard) from
-// several goroutines while readers exercise the full query surface. Run
-// under `go test -race`.
+// Concurrent stress for the sharded store's seqlock contract — mutually
+// exclusive per-shard writers, lock-free readers: mutators (InsertBatch /
+// DeleteBatch / single-edge ops / ApplyShard) from several goroutines
+// while readers exercise the full query surface. Run under `go test
+// -race`.
 
 import (
 	"sync"

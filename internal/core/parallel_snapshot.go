@@ -1,13 +1,17 @@
 package core
 
 // Sharded snapshot serialization. A Parallel snapshot records the shared
-// configuration, the shard count, and each shard's live edge set; each
-// shard's section is written under that shard's read lock, so a snapshot
-// can be taken while a streaming pipeline mutates other shards and every
-// per-shard section is internally consistent. For a globally consistent
-// checkpoint (the durability layer's requirement), the caller quiesces
-// writers first — e.g. by flushing the ingestion pipeline — and then ties
-// the snapshot to a WAL offset in the manifest.
+// configuration, the shard count, and each shard's live edge set. The
+// writer takes a multi-shard version fence: it pins every shard's active
+// replica up front (see seqlock.go) and only then starts dumping, so the
+// snapshot is a cross-shard cut — every shard section reflects a state
+// published no later than the fence, and no section contains a
+// half-applied batch. Batches that publish while the dump streams land
+// entirely after the fence (their writers stall at the reader grace
+// period until the fence is released). For a checkpoint tied to an exact
+// stream position (the durability layer's requirement), the caller still
+// quiesces writers first — e.g. by flushing the ingestion pipeline — and
+// ties the snapshot to a WAL offset in the manifest.
 
 import (
 	"bufio"
@@ -23,15 +27,27 @@ const (
 )
 
 // WriteSnapshot serializes the configuration, shard count, and every
-// shard's live edges to w. Each shard is dumped under its read lock.
+// shard's live edges to w. The dump runs under a multi-shard version
+// fence: every shard is pinned before the first byte of edge data is
+// written, giving a consistent cross-shard cut without blocking readers.
 func (p *Parallel) WriteSnapshot(w io.Writer) error {
+	// The fence: pin all shards' active replicas up front. Deferred unpins
+	// release the fence even when the writer fails mid-stream.
+	pinned := make([]*GraphTinker, len(p.sc))
+	for i := range p.sc {
+		sc := &p.sc[i]
+		g, idx := sc.pinRead()
+		defer sc.unpin(idx)
+		pinned[i] = g
+	}
+
 	bw := bufio.NewWriter(w)
 	le := binary.LittleEndian
 
 	var head [10]byte
 	le.PutUint32(head[0:], parallelSnapshotMagic)
 	le.PutUint16(head[4:], parallelSnapshotVersion)
-	le.PutUint32(head[6:], uint32(len(p.shards)))
+	le.PutUint32(head[6:], uint32(len(p.sc)))
 	if _, err := bw.Write(head[:]); err != nil {
 		return fmt.Errorf("core: parallel snapshot header: %w", err)
 	}
@@ -52,8 +68,7 @@ func (p *Parallel) WriteSnapshot(w io.Writer) error {
 	}
 
 	var rec [20]byte
-	for i, s := range p.shards {
-		p.locks[i].RLock()
+	for i, s := range pinned {
 		le.PutUint64(buf[:], s.NumEdges())
 		_, err := bw.Write(buf[:])
 		if err == nil {
@@ -68,7 +83,6 @@ func (p *Parallel) WriteSnapshot(w io.Writer) error {
 				return true
 			})
 		}
-		p.locks[i].RUnlock()
 		if err != nil {
 			return fmt.Errorf("core: parallel snapshot shard %d: %w", i, err)
 		}

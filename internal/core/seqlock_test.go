@@ -1,0 +1,273 @@
+package core
+
+// Tests for the seqlock read path: the version/pin protocol itself, the
+// panic-safety of the reader surface (a panicking callback must not leak
+// a pin and wedge writers — the bug the old non-deferred RLock loops had),
+// and the exactly-once stats contract across a shard's replica pair.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShardCtlPublishFlipsActive exercises the version protocol on one
+// shardCtl directly: publishing moves readers to the shadow replica, the
+// version stays even between publications, and both replicas reconverge.
+func TestShardCtlPublishFlipsActive(t *testing.T) {
+	var sc shardCtl
+	sc.init(DefaultConfig())
+
+	g0, idx0 := sc.pinRead()
+	if g0 != sc.quiescedInstance() {
+		t.Fatalf("pinRead returned a replica the version does not select")
+	}
+	sc.unpin(idx0)
+
+	before := sc.activeIdx()
+	if n := sc.applyBatchLocked([]Edge{{1, 2, 1}, {1, 3, 1}}, false); n != 2 {
+		t.Fatalf("applyBatchLocked inserted %d, want 2", n)
+	}
+	if after := sc.activeIdx(); after == before {
+		t.Fatalf("publish did not flip the active replica (still %d)", after)
+	}
+	if s := sc.seq.Load(); s&1 != 0 {
+		t.Fatalf("version left odd (%d) after publish", s)
+	}
+	for i := 0; i < 2; i++ {
+		if n := sc.inst[i].NumEdges(); n != 2 {
+			t.Fatalf("replica %d holds %d edges after reconvergence, want 2", i, n)
+		}
+	}
+
+	// A held pin blocks reconvergence onto the pinned replica: the next
+	// publish must wait in drain until the pin is released.
+	g, idx := sc.pinRead()
+	released := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		sc.applyBatchLocked([]Edge{{2, 3, 1}}, false)
+		close(done)
+	}()
+	// The writer applies to the shadow and publishes immediately — only the
+	// catch-up replay onto our pinned replica must wait.
+	time.Sleep(10 * time.Millisecond)
+	if n := g.NumEdges(); n != 2 {
+		t.Fatalf("pinned replica mutated under a held pin: %d edges", n)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(released)
+		sc.unpin(idx)
+	}()
+	<-done
+	select {
+	case <-released:
+	default:
+		t.Fatalf("writer finished while a reader pin was still held")
+	}
+}
+
+// TestReaderPanicDoesNotWedgeWriters panics inside every scan-shaped
+// reader callback and then checks writers still make progress. Before the
+// seqlock the scan loops held non-deferred RLocks, so a panicking reader
+// leaked the shard lock and every later writer deadlocked; the pin release
+// is deferred exactly to keep this recoverable.
+func TestReaderPanicDoesNotWedgeWriters(t *testing.T) {
+	p, err := NewParallel(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var batch []Edge
+	for i := 0; i < 2000; i++ {
+		batch = append(batch, Edge{uint64(i % 50), uint64(i + 100), 1})
+	}
+	p.InsertBatch(batch)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: callback panic did not propagate", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ForEachEdge", func() {
+		p.ForEachEdge(func(src, dst uint64, w float32) bool { panic("reader exploded") })
+	})
+	mustPanic("ForEachShardEdge", func() {
+		p.ForEachShardEdge(p.ShardOf(batch[0].Src), func(src, dst uint64, w float32) bool { panic("reader exploded") })
+	})
+	mustPanic("ForEachOutEdge", func() {
+		p.ForEachOutEdge(batch[0].Src, func(dst uint64, w float32) bool { panic("reader exploded") })
+	})
+
+	// Every pin the panicking readers took must have been released: a
+	// leaked pin would stall the next batch forever in the reader drain.
+	done := make(chan int, 1)
+	go func() { done <- p.InsertBatch([]Edge{{999, 9999, 1}}) }()
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("post-panic InsertBatch inserted %d, want 1", n)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("InsertBatch wedged after reader panic (leaked pin)")
+	}
+	if _, ok := p.FindEdge(999, 9999); !ok {
+		t.Fatal("post-panic write not visible to readers")
+	}
+}
+
+// TestParallelFindEdgeStatsMonotonicUnderWrites hammers FindEdge from
+// concurrent readers while batches insert and delete, asserting that (a)
+// successive Stats snapshots never go backwards and (b) after quiescing,
+// Finds equals the number of FindEdge calls exactly. PR 1 fixed a counter
+// race by making the stats atomic; the seqlock's replica pair must neither
+// reintroduce the race nor double-count through the catch-up replay.
+func TestParallelFindEdgeStatsMonotonicUnderWrites(t *testing.T) {
+	p, err := NewParallel(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	r := &testRand{s: 271}
+	var seedEdges, churn []Edge
+	for i := 0; i < 8000; i++ {
+		seedEdges = append(seedEdges, Edge{uint64(r.intn(300)), uint64(r.intn(900)), 1})
+	}
+	for i := 0; i < 4000; i++ {
+		churn = append(churn, Edge{uint64(r.intn(300)), uint64(100000 + r.intn(900)), 1})
+	}
+	p.InsertBatch(seedEdges)
+
+	stop := make(chan struct{})
+	var finds atomic.Uint64
+	var wg sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			var prev Stats
+			for i := k; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := seedEdges[i%len(seedEdges)]
+				p.FindEdge(e.Src, e.Dst)
+				finds.Add(1)
+				if i%64 == k {
+					cur := p.Stats()
+					if cur.Finds < prev.Finds || cur.Inserts < prev.Inserts ||
+						cur.Deletes < prev.Deletes || cur.CellsInspected < prev.CellsInspected ||
+						cur.WorkblocksRetrieved < prev.WorkblocksRetrieved {
+						panic(fmt.Sprintf("stats snapshot went backwards: %+v -> %+v", prev, cur))
+					}
+					prev = cur
+				}
+			}
+		}(k)
+	}
+	for round := 0; round < 6; round++ {
+		p.InsertBatch(churn)
+		p.DeleteBatch(churn)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got, want := p.Stats().Finds, finds.Load(); got != want {
+		t.Fatalf("Finds counter = %d, want exactly %d calls (replica pair double- or under-counting)", got, want)
+	}
+}
+
+// FuzzSeqlockInterleave fuzzes reader/writer interleavings: a writer
+// applies tagged disjoint batches (inserts, then deletes) while readers
+// scan shards and assert every observed state is all-or-nothing per batch.
+// The fuzzer varies the workload shape and scheduling pressure; any torn
+// read the seqlock lets through trips the oracle.
+func FuzzSeqlockInterleave(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(2))
+	f.Add(uint64(42), uint8(7), uint8(3))
+	f.Add(uint64(0xdead), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, nb, nr uint8) {
+		const shards = 2
+		batches := int(nb%6) + 2
+		readers := int(nr%3) + 1
+		batchSize := 64 + int(seed%64)
+
+		p, err := NewParallel(DefaultConfig(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+
+		all := make([][]Edge, batches)
+		want := make([][]uint64, batches)
+		r := &testRand{s: seed | 1}
+		for k := range all {
+			want[k] = make([]uint64, shards)
+			for j := 0; j < batchSize; j++ {
+				e := Edge{
+					Src:    uint64(r.intn(60)),
+					Dst:    uint64(k*batchSize + j + 1000), // globally unique => batches disjoint
+					Weight: float32(k + 1),
+				}
+				all[k] = append(all[k], e)
+				want[k][p.ShardOf(e.Src)]++
+			}
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for rd := 0; rd < readers; rd++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				counts := make([]uint64, batches)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for i := range counts {
+						counts[i] = 0
+					}
+					p.ForEachShardEdge(s, func(src, dst uint64, w float32) bool {
+						k := int(w) - 1
+						if k < 0 || k >= batches {
+							panic("scan observed an edge with an unknown batch tag")
+						}
+						counts[k]++
+						return true
+					})
+					for k := range counts {
+						if counts[k] != 0 && counts[k] != want[k][s] {
+							panic(fmt.Sprintf("shard %d: torn read: batch %d visible with %d of %d edges",
+								s, k, counts[k], want[k][s]))
+						}
+					}
+				}
+			}(rd % shards)
+		}
+		for k := 0; k < batches; k++ {
+			p.InsertBatch(all[k])
+		}
+		for k := 0; k < batches; k++ {
+			p.DeleteBatch(all[k])
+		}
+		close(stop)
+		wg.Wait()
+		if n := p.NumEdges(); n != 0 {
+			t.Fatalf("differential end state: %d edges left, want 0", n)
+		}
+	})
+}

@@ -52,11 +52,15 @@ func (s *Stats) Add(other Stats) {
 }
 
 // statsCounters is the atomic backing store for Stats. Mutation paths run
-// single-threaded per instance (the Parallel wrapper gives each shard its
-// own goroutine), but the counters are atomics so that (a) FindEdge — a
-// logically read-only operation that still counts probe work — is safe to
-// call from concurrent readers, and (b) Stats snapshots taken mid-batch by
-// observer goroutines stay clean under the race detector.
+// single-threaded per instance (the Parallel wrapper serializes writers
+// per shard and applies each batch to one replica at a time), but the
+// counters are atomics so that (a) FindEdge — a logically read-only
+// operation that still counts probe work — is safe to call from
+// concurrent readers, and (b) Stats snapshots taken mid-batch by observer
+// goroutines stay clean under the race detector. Under the seqlock each
+// replica owns a statsCounters (statsStore) while recording through a
+// retargetable pointer, so the catch-up replay of a batch can be silenced
+// into a scratch sink — see seqlock.go for the exactly-once accounting.
 type statsCounters struct {
 	inserts, updates, deletes, finds        atomic.Uint64
 	cellsInspected, workblocksRetrieved     atomic.Uint64

@@ -3,22 +3,23 @@
 # perf-smoke job does: write the sweep to $BENCH_OUT and gate it against
 # the committed baseline. Run it from anywhere; it cds to the repo root.
 #
-#   bash scripts/bench.sh                 # gate against BENCH_5.json
+#   bash scripts/bench.sh                 # gate against BENCH_6.json
 #   BENCH_OUT=/tmp/now.json bash scripts/bench.sh
 #   BENCH_BASELINE= bash scripts/bench.sh # sweep only, no gate
 #
 # To refresh the committed baseline after an intentional perf change:
-#   BENCH_OUT=BENCH_5.json BENCH_BASELINE= bash scripts/bench.sh
+#   BENCH_OUT=BENCH_6.json BENCH_BASELINE= bash scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_OUT="${BENCH_OUT-bench-current.json}"
-BENCH_BASELINE="${BENCH_BASELINE-BENCH_5.json}"
+BENCH_BASELINE="${BENCH_BASELINE-BENCH_6.json}"
 BENCH_TOLERANCE="${BENCH_TOLERANCE-10}"
+BENCH_LAT_TOLERANCE="${BENCH_LAT_TOLERANCE-400}"
 
 args=(-bench-out "$BENCH_OUT")
 if [ -n "$BENCH_BASELINE" ]; then
-  args+=(-compare "$BENCH_BASELINE" -tolerance "$BENCH_TOLERANCE")
+  args+=(-compare "$BENCH_BASELINE" -tolerance "$BENCH_TOLERANCE" -lat-tolerance "$BENCH_LAT_TOLERANCE")
 fi
 
 go run ./cmd/gtbench "${args[@]}"
