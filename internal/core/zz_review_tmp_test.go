@@ -1,0 +1,37 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestReviewInstrumentVsReaders(t *testing.T) {
+	p, _ := NewParallel(DefaultConfig(), 2)
+	defer p.Close()
+	for i := 0; i < 100; i++ {
+		p.InsertEdge(uint64(i), uint64(i+1), 1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < 100; i++ {
+				p.FindEdge(uint64(i), uint64(i+1))
+			}
+		}
+	}()
+	rec := newTestRecorder()
+	for i := 0; i < 50; i++ {
+		p.Instrument(rec)
+		p.Instrument(nil)
+	}
+	close(stop)
+	wg.Wait()
+}
