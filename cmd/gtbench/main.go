@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"graphtinker/internal/bench"
+	"graphtinker/internal/core"
 )
 
 func main() {
@@ -68,14 +69,20 @@ func main() {
 		perfEdges  = flag.Int("perf-edges", 4096, "edges per batch in the perf sweep")
 		perfShards = flag.Int("perf-shards", 4, "shard count for the perf sweep's parallel probes")
 		perfTime   = flag.Duration("perf-time", 200*time.Millisecond, "minimum measurement time per perf probe")
+		perfRepr   = flag.String("repr", "", "edge-container representation for the perf sweep: adaptive|slice|blocks|cuckoo (default adaptive)")
 	)
 	flag.Parse()
 
 	if *perfFlag || *benchOut != "" || *compare != "" {
+		repr, err := core.ParseRepresentation(*perfRepr)
+		if err != nil {
+			fatal("-repr: %v", err)
+		}
 		runPerf(bench.PerfOptions{
 			EdgesPerOp: *perfEdges,
 			Shards:     *perfShards,
 			MinTime:    *perfTime,
+			Repr:       repr,
 		}, *benchOut, *compare, bench.CompareOptions{
 			TolerancePct:        *tolerance,
 			CompareNs:           *compareNs,

@@ -87,10 +87,13 @@ func ExampleNewParallel() {
 }
 
 // The delete-and-compact mechanism keeps the structure dense as the graph
-// shrinks.
+// shrinks. The block representation is pinned so the example shows the
+// paper's compactor; under the adaptive default the drained vertex would
+// demote to a slice and free even its top-parent block.
 func ExampleConfig_deleteAndCompact() {
 	cfg := graphtinker.DefaultConfig()
 	cfg.DeleteMode = graphtinker.DeleteAndCompact
+	cfg.Repr = graphtinker.ReprBlocks
 	g := graphtinker.MustNew(cfg)
 	for i := uint64(0); i < 500; i++ {
 		g.InsertEdge(7, i, 1)

@@ -45,6 +45,21 @@ const (
 	DeleteAndCompact = core.DeleteAndCompact
 )
 
+// Representation selects the per-vertex edge-container format; see
+// Config.Repr.
+type Representation = core.Representation
+
+// Edge-container representations. The default, ReprAdaptive, starts every
+// vertex as a small sorted slice and migrates it to the paper's hashed
+// edgeblock tree (and, for heavy hitters, a cuckoo table) as its degree
+// crosses the Config thresholds; the other values pin one format.
+const (
+	ReprAdaptive = core.ReprAdaptive
+	ReprSlice    = core.ReprSlice
+	ReprBlocks   = core.ReprBlocks
+	ReprCuckoo   = core.ReprCuckoo
+)
+
 // Graph is a single GraphTinker instance. It is not safe for concurrent
 // mutation; use Parallel for the paper's multi-instance partitioning.
 type Graph = core.GraphTinker

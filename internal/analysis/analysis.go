@@ -93,6 +93,7 @@ func Analyzers() []*Analyzer {
 		ClockBan,
 		SeqlockFence,
 		SyncErr,
+		ContainerIface,
 	}
 }
 

@@ -113,6 +113,10 @@ func TestSyncErr(t *testing.T) {
 	checkFixture(t, "syncerr", []*Analyzer{SyncErr})
 }
 
+func TestContainerIface(t *testing.T) {
+	checkFixture(t, "containeriface", []*Analyzer{ContainerIface})
+}
+
 func TestSuppressions(t *testing.T) {
 	checkFixture(t, "suppression", []*Analyzer{SyncErr})
 }

@@ -1,0 +1,103 @@
+package analysis
+
+// containeriface: the per-vertex edge containers sit behind the
+// EdgeContainer interface, and the container files (container.go,
+// adaptive.go, repr_*.go) are the only place the concrete formats may be
+// named structurally. Code elsewhere in internal/core that type-asserts or
+// type-switches on a concrete container couples itself to one format and
+// silently breaks when the adaptor migrates a vertex — every such site must
+// go through the interface (or the adaptor's own dispatch) instead.
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// containerImplFiles are the container implementation files, the only ones
+// allowed to name the concrete formats structurally.
+var containerImplFiles = map[string]bool{
+	"container.go":   true,
+	"adaptive.go":    true,
+	"repr_slice.go":  true,
+	"repr_blocks.go": true,
+	"repr_cuckoo.go": true,
+}
+
+// concreteContainers are the format implementations behind EdgeContainer.
+var concreteContainers = map[string]bool{
+	"sliceContainer":    true,
+	"blockContainer":    true,
+	"cuckooContainer":   true,
+	"adaptiveContainer": true,
+}
+
+// ContainerIface is the containeriface analyzer.
+var ContainerIface = &Analyzer{
+	Name: "containeriface",
+	Doc:  "no type assertions on concrete edge-container implementations outside the container files",
+	Scope: func(pkgPath, filename string) bool {
+		return strings.HasSuffix(pkgPath, "/internal/core") &&
+			!strings.HasSuffix(filename, "_test.go") &&
+			!containerImplFiles[filepath.Base(filename)]
+	},
+	Run: runContainerIface,
+}
+
+func runContainerIface(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeAssertExpr:
+				// n.Type is nil inside a type switch header; the switch's
+				// case clauses are handled below.
+				if n.Type == nil {
+					return true
+				}
+				if name, ok := concreteContainerType(pass.Info, n.Type); ok {
+					pass.Reportf(n.Pos(), "type assertion to concrete container %s outside the container files; go through the EdgeContainer interface", name)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, texpr := range cc.List {
+						if name, ok := concreteContainerType(pass.Info, texpr); ok {
+							pass.Reportf(texpr.Pos(), "type switch case on concrete container %s outside the container files; go through the EdgeContainer interface", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// concreteContainerType reports whether the type expression names (possibly
+// through one pointer) a concrete container implementation from the
+// internal/core package.
+func concreteContainerType(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "/internal/core") {
+		return "", false
+	}
+	if !concreteContainers[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}

@@ -1,0 +1,3 @@
+module containerifacefix
+
+go 1.22

@@ -1,0 +1,32 @@
+// Fixture container file: defines the interface and concrete formats. As a
+// container implementation file it is outside the check's scope, so its own
+// structural type uses are allowed.
+package core
+
+type EdgeContainer interface {
+	Degree() uint32
+}
+
+type sliceContainer struct{ n uint32 }
+
+func (c *sliceContainer) Degree() uint32 { return c.n }
+
+type blockContainer struct{ n uint32 }
+
+func (c *blockContainer) Degree() uint32 { return c.n }
+
+type cuckooContainer struct{ n uint32 }
+
+func (c *cuckooContainer) Degree() uint32 { return c.n }
+
+type adaptiveContainer struct{ n uint32 }
+
+func (c *adaptiveContainer) Degree() uint32 { return c.n }
+
+// peek is allowed here: container files own the concrete formats.
+func peek(ec EdgeContainer) uint32 {
+	if sc, ok := ec.(*sliceContainer); ok {
+		return sc.n
+	}
+	return ec.Degree()
+}

@@ -1,0 +1,43 @@
+// Golden fixture for the containeriface check (scope: internal/core
+// non-test files outside the container implementations).
+package core
+
+func badAssert(ec EdgeContainer) uint32 {
+	if sc, ok := ec.(*sliceContainer); ok { // want:containeriface "type assertion to concrete container sliceContainer"
+		return sc.n
+	}
+	return 0
+}
+
+func badValueAssert(ec interface{}) uint32 {
+	c := ec.(blockContainer) // want:containeriface "type assertion to concrete container blockContainer"
+	return c.n
+}
+
+func badSwitch(ec EdgeContainer) uint32 {
+	switch c := ec.(type) {
+	case *cuckooContainer: // want:containeriface "type switch case on concrete container cuckooContainer"
+		return c.n
+	case *adaptiveContainer: // want:containeriface "type switch case on concrete container adaptiveContainer"
+		return c.n
+	default:
+		return ec.Degree()
+	}
+}
+
+// goodInterface stays on the interface: nothing to report.
+func goodInterface(ec EdgeContainer) uint32 {
+	return ec.Degree()
+}
+
+// goodOtherAssert asserts a non-container type: allowed.
+func goodOtherAssert(v interface{}) int {
+	if n, ok := v.(int); ok {
+		return n
+	}
+	switch s := v.(type) {
+	case string:
+		return len(s)
+	}
+	return 0
+}

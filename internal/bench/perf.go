@@ -46,6 +46,17 @@ type PerfOptions struct {
 	MinTime time.Duration
 	// MaxOps caps a probe's iterations regardless of MinTime (default 1M).
 	MaxOps int
+	// Repr selects the per-vertex edge-container representation the probes
+	// run under (default core.ReprAdaptive) — the gtbench -repr flag, for
+	// A/B sweeps of the formats against the committed baseline.
+	Repr core.Representation
+}
+
+// config is the store configuration every probe uses.
+func (o PerfOptions) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Repr = o.Repr
+	return cfg
 }
 
 func (o PerfOptions) withDefaults() PerfOptions {
@@ -91,6 +102,7 @@ type PerfReport struct {
 	EdgesPerOp int          `json:"edges_per_op"`
 	Shards     int          `json:"shards"`
 	GoVersion  string       `json:"go_version"`
+	Repr       string       `json:"repr,omitempty"`
 	Results    []PerfResult `json:"results"`
 }
 
@@ -179,6 +191,7 @@ func RunPerfSweep(o PerfOptions) (PerfReport, error) {
 		EdgesPerOp: o.EdgesPerOp,
 		Shards:     o.Shards,
 		GoVersion:  runtime.Version(),
+		Repr:       o.Repr.String(),
 	}
 	vertices := uint64(4 * o.EdgesPerOp)
 
@@ -186,7 +199,7 @@ func RunPerfSweep(o PerfOptions) (PerfReport, error) {
 	// re-applies the same batch, so each edge is a weight update.
 	{
 		edges := perfEdges(o.EdgesPerOp, vertices, 21)
-		g := core.MustNew(core.DefaultConfig())
+		g := core.MustNew(o.config())
 		g.InsertBatch(edges)
 		res := measureOp(o, o.EdgesPerOp, func() { g.InsertBatch(edges) })
 		res.Name = "core/insert-steady"
@@ -197,7 +210,7 @@ func RunPerfSweep(o PerfOptions) (PerfReport, error) {
 	// persistent worker fan-out.
 	{
 		edges := perfEdges(o.EdgesPerOp, vertices, 23)
-		p, err := core.NewParallel(core.DefaultConfig(), o.Shards)
+		p, err := core.NewParallel(o.config(), o.Shards)
 		if err != nil {
 			return rep, err
 		}
@@ -213,7 +226,7 @@ func RunPerfSweep(o PerfOptions) (PerfReport, error) {
 	{
 		base := perfEdges(o.EdgesPerOp, vertices, 25)
 		churn := perfEdges(o.EdgesPerOp/2, vertices, 27)
-		p, err := core.NewParallel(core.DefaultConfig(), o.Shards)
+		p, err := core.NewParallel(o.config(), o.Shards)
 		if err != nil {
 			return rep, err
 		}
@@ -240,7 +253,7 @@ func RunPerfSweep(o PerfOptions) (PerfReport, error) {
 		if len(probes) > 512 {
 			probes = probes[:512]
 		}
-		p, err := core.NewParallel(core.DefaultConfig(), o.Shards)
+		p, err := core.NewParallel(o.config(), o.Shards)
 		if err != nil {
 			return rep, err
 		}
@@ -297,7 +310,7 @@ func RunPerfSweep(o PerfOptions) (PerfReport, error) {
 		for i, e := range edges {
 			ops[i] = ingest.Insert(e.Src, e.Dst, e.Weight)
 		}
-		p, err := core.NewParallel(core.DefaultConfig(), o.Shards)
+		p, err := core.NewParallel(o.config(), o.Shards)
 		if err != nil {
 			return rep, err
 		}

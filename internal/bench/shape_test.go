@@ -249,8 +249,11 @@ func TestShapeRHHFlattensProbes(t *testing.T) {
 // raw ids, SGH keeps the main region exactly as large as the number of
 // distinct sources.
 func TestShapeSGHDensifiesMainRegion(t *testing.T) {
-	g := core.MustNew(gtConfig())
-	gNoSGH := core.MustNew(gtConfig(func(c *core.Config) { c.EnableSGH = false }))
+	// Block representation pinned: the one-block-per-source claim is about
+	// the block format's SGH-densified main region (degree-1 vertices stay
+	// in the slice format under the adaptive default).
+	g := core.MustNew(gtConfig(func(c *core.Config) { c.Repr = core.ReprBlocks }))
+	gNoSGH := core.MustNew(gtConfig(func(c *core.Config) { c.EnableSGH = false; c.Repr = core.ReprBlocks }))
 	// Sparse source ids, the paper's own example: 34 and 22789. (Kept
 	// below ~10^6: without SGH the main region is raw-indexed, so the
 	// no-SGH instance genuinely allocates max-id-sized tables — the very

@@ -1,0 +1,283 @@
+package core
+
+// adaptiveContainer is the per-vertex adaptor over the three edge formats.
+// Each dense vertex id owns one (GraphTinker.cont); the kind tag selects the
+// active format and the hot paths dispatch on it with a switch — no
+// interface value is ever formed on the operation paths, so reads stay
+// allocation-free.
+//
+// Under Config.Repr == ReprAdaptive a vertex starts as a sorted slice and
+// migrates when its degree crosses the configured thresholds:
+//
+//	slice  --(degree > SlicePromoteDegree)-->  blocks
+//	blocks --(degree <= SliceDemoteDegree)-->  slice
+//	blocks --(degree > CuckooPromoteDegree)--> cuckoo
+//	cuckoo --(degree <= CuckooDemoteDegree)--> blocks
+//
+// Promote and demote points are separated (hysteresis) so a vertex
+// oscillating around one degree does not migrate on every operation. A
+// forced Repr pins every vertex to one format and never migrates.
+//
+// Migration runs inside the mutation that crossed the threshold, which
+// under the Parallel wrapper means inside the writer's shadow-replica apply:
+// readers pinned to the published replica never observe a half-migrated
+// vertex, and the catch-up replay performs the identical migration on the
+// stale replica (all migration triggers are deterministic functions of the
+// op stream). Steady-state flapping is allocation-free: the slice keeps its
+// entry buffer across promotions, the cuckoo table keeps its slot buffer
+// across demotions, and freed edgeblocks return to the arena free list.
+type adaptiveContainer struct {
+	kind   reprKind
+	slice  sliceContainer
+	blocks blockContainer
+	cuckoo *cuckooContainer // nil until the vertex first needs it
+}
+
+var _ EdgeContainer = (*adaptiveContainer)(nil)
+
+// init binds the container to its (host, dense id) pair on the vertex's
+// first edge. The zero kind (reprNone) marks an unbound container, which is
+// what lets GraphTinker.cont grow zero-filled.
+func (ac *adaptiveContainer) init(gt *GraphTinker, d uint32) {
+	ac.slice = sliceContainer{host: gt, d: d}
+	ac.blocks = blockContainer{host: gt, d: d}
+	ac.kind = gt.cfg.Repr.initialKind()
+	if ac.kind == reprCuckoo {
+		ac.cuckoo = newCuckooContainer(gt, d, 0)
+	}
+}
+
+func (ac *adaptiveContainer) host() *GraphTinker { return ac.blocks.host }
+
+func (ac *adaptiveContainer) Insert(dst uint64, w float32) (bool, int) {
+	var isNew bool
+	var probe int
+	switch ac.kind {
+	case reprSlice:
+		isNew, probe = ac.slice.Insert(dst, w)
+	case reprBlocks:
+		isNew, probe = ac.blocks.Insert(dst, w)
+	case reprCuckoo:
+		isNew, probe = ac.cuckoo.Insert(dst, w)
+	default:
+		return false, 0
+	}
+	if isNew {
+		ac.maybePromote()
+	}
+	return isNew, probe
+}
+
+func (ac *adaptiveContainer) Delete(dst uint64) (bool, int) {
+	var removed bool
+	var probe int
+	switch ac.kind {
+	case reprSlice:
+		removed, probe = ac.slice.Delete(dst)
+	case reprBlocks:
+		removed, probe = ac.blocks.Delete(dst)
+	case reprCuckoo:
+		removed, probe = ac.cuckoo.Delete(dst)
+	default:
+		return false, 0
+	}
+	if removed {
+		ac.maybeDemote()
+	}
+	return removed, probe
+}
+
+func (ac *adaptiveContainer) Find(dst uint64) (float32, int, bool) {
+	switch ac.kind {
+	case reprSlice:
+		return ac.slice.Find(dst)
+	case reprBlocks:
+		return ac.blocks.Find(dst)
+	case reprCuckoo:
+		return ac.cuckoo.Find(dst)
+	default:
+		return 0, 0, false
+	}
+}
+
+func (ac *adaptiveContainer) Degree() uint32 {
+	switch ac.kind {
+	case reprSlice:
+		return ac.slice.Degree()
+	case reprBlocks:
+		return ac.blocks.Degree()
+	case reprCuckoo:
+		return ac.cuckoo.Degree()
+	default:
+		return 0
+	}
+}
+
+func (ac *adaptiveContainer) Iterate(fn func(dst uint64, w float32) bool) bool {
+	switch ac.kind {
+	case reprSlice:
+		return ac.slice.Iterate(fn)
+	case reprBlocks:
+		return ac.blocks.Iterate(fn)
+	case reprCuckoo:
+		return ac.cuckoo.Iterate(fn)
+	default:
+		return true
+	}
+}
+
+func (ac *adaptiveContainer) Snapshot() []Edge {
+	switch ac.kind {
+	case reprSlice:
+		return ac.slice.Snapshot()
+	case reprBlocks:
+		return ac.blocks.Snapshot()
+	case reprCuckoo:
+		return ac.cuckoo.Snapshot()
+	default:
+		return nil
+	}
+}
+
+func (ac *adaptiveContainer) calPtrOf(dst uint64) (calPtr, bool) {
+	switch ac.kind {
+	case reprSlice:
+		return ac.slice.calPtrOf(dst)
+	case reprBlocks:
+		return ac.blocks.calPtrOf(dst)
+	case reprCuckoo:
+		return ac.cuckoo.calPtrOf(dst)
+	default:
+		return invalidCALPtr, false
+	}
+}
+
+func (ac *adaptiveContainer) repointCAL(dst uint64, p calPtr) bool {
+	switch ac.kind {
+	case reprSlice:
+		return ac.slice.repointCAL(dst, p)
+	case reprBlocks:
+		return ac.blocks.repointCAL(dst, p)
+	case reprCuckoo:
+		return ac.cuckoo.repointCAL(dst, p)
+	default:
+		return false
+	}
+}
+
+// memoryBytes is the retained footprint of the container-owned buffers
+// (slice entries and cuckoo slots, live or kept for reuse). Block storage
+// is accounted by the shared arena.
+func (ac *adaptiveContainer) memoryBytes() uint64 {
+	var n uint64 = ac.slice.memoryBytes()
+	if ac.cuckoo != nil {
+		n += ac.cuckoo.memoryBytes()
+	}
+	return n
+}
+
+// maybePromote migrates the vertex up a format when an insertion pushed its
+// degree past a promote threshold. Only the adaptive representation
+// migrates.
+func (ac *adaptiveContainer) maybePromote() {
+	gt := ac.host()
+	if gt.cfg.Repr != ReprAdaptive {
+		return
+	}
+	switch ac.kind {
+	case reprSlice:
+		if int(ac.slice.Degree()) > gt.cfg.SlicePromoteDegree {
+			ac.sliceToBlocks(gt)
+		}
+	case reprBlocks:
+		if int(ac.blocks.Degree()) > gt.cfg.CuckooPromoteDegree {
+			ac.blocksToCuckoo(gt)
+		}
+	}
+}
+
+// maybeDemote migrates the vertex down a format when a deletion dropped its
+// degree to a demote threshold.
+func (ac *adaptiveContainer) maybeDemote() {
+	gt := ac.host()
+	if gt.cfg.Repr != ReprAdaptive {
+		return
+	}
+	switch ac.kind {
+	case reprCuckoo:
+		if int(ac.cuckoo.Degree()) <= gt.cfg.CuckooDemoteDegree {
+			ac.cuckooToBlocks(gt)
+		}
+		// A single deletion cannot cross both demote thresholds (the Config
+		// validator enforces CuckooDemoteDegree > SliceDemoteDegree), so no
+		// fallthrough is needed.
+	case reprBlocks:
+		if int(ac.blocks.Degree()) <= gt.cfg.SliceDemoteDegree {
+			ac.blocksToSlice(gt)
+		}
+	}
+}
+
+// sliceToBlocks streams the slice entries into a fresh edgeblock tree. The
+// entries carry their CAL pointers; block placement goes through writeCell,
+// which re-points each mirror entry's owner at its new cell.
+func (ac *adaptiveContainer) sliceToBlocks(gt *GraphTinker) {
+	for i := range ac.slice.entries {
+		e := &ac.slice.entries[i]
+		ac.blocks.bulkAdd(e.dst, e.weight, e.calPtr)
+	}
+	ac.slice.clear()
+	ac.kind = reprBlocks
+	gt.stats.promotions.Add(1)
+}
+
+// blocksToSlice walks the edgeblock subtree into the retained slice buffer
+// (one sort at the end — demotions hand over at most SliceDemoteDegree
+// entries), invalidating the mirror's owner back-pointers, then frees the
+// whole subtree.
+func (ac *adaptiveContainer) blocksToSlice(gt *GraphTinker) {
+	ac.blocks.collectEntries(func(dst uint64, w float32, ptr calPtr) {
+		if gt.cal != nil && ptr.valid() {
+			gt.cal.setOwner(ptr, invalidCellAddr)
+			gt.stats.calPatches.Add(1)
+		}
+		ac.slice.bulkAdd(dst, w, ptr)
+	})
+	ac.slice.sortEntries()
+	ac.blocks.clear()
+	ac.kind = reprSlice
+	gt.stats.demotions.Add(1)
+}
+
+// blocksToCuckoo streams the edgeblock subtree into a cuckoo table sized
+// for the current degree, then frees the subtree.
+func (ac *adaptiveContainer) blocksToCuckoo(gt *GraphTinker) {
+	deg := int(ac.blocks.Degree())
+	if ac.cuckoo == nil {
+		ac.cuckoo = newCuckooContainer(gt, ac.blocks.d, deg)
+	} else {
+		ac.cuckoo.reset(deg)
+	}
+	ac.blocks.collectEntries(func(dst uint64, w float32, ptr calPtr) {
+		if gt.cal != nil && ptr.valid() {
+			gt.cal.setOwner(ptr, invalidCellAddr)
+			gt.stats.calPatches.Add(1)
+		}
+		ac.cuckoo.bulkAdd(dst, w, ptr)
+	})
+	ac.blocks.clear()
+	ac.kind = reprCuckoo
+	gt.stats.promotions.Add(1)
+}
+
+// cuckooToBlocks streams the cuckoo table back into an edgeblock tree
+// (writeCell re-establishes the mirror owner back-pointers), retaining the
+// slot buffer for a later re-promotion.
+func (ac *adaptiveContainer) cuckooToBlocks(gt *GraphTinker) {
+	ac.cuckoo.collectEntries(func(dst uint64, w float32, ptr calPtr) {
+		ac.blocks.bulkAdd(dst, w, ptr)
+	})
+	ac.cuckoo.clear()
+	ac.kind = reprBlocks
+	gt.stats.demotions.Add(1)
+}

@@ -49,18 +49,27 @@ func (h ProbeHistogram) MeanGeneration() float64 {
 }
 
 // AnalyzeProbes walks the whole structure and histograms probe distances
-// and generations of every live edge.
+// and generations of every live edge. Edges of slice- and cuckoo-format
+// vertices count at probe 0 / generation 0 — both formats answer in a
+// bounded number of fetches with no descent — so the histogram totals
+// always equal NumEdges regardless of representation.
 func (gt *GraphTinker) AnalyzeProbes() ProbeHistogram {
 	h := ProbeHistogram{
 		ByProbe:      make([]uint64, gt.geo.subblockSize),
 		ByGeneration: make([]uint64, 1),
 	}
-	for d := 0; d < len(gt.topBlock); d++ {
-		blk := gt.topBlock[d]
-		if blk == noBlock {
-			continue
+	for d := 0; d < len(gt.cont); d++ {
+		ac := &gt.cont[d]
+		switch ac.kind {
+		case reprBlocks:
+			if blk := gt.topBlock[d]; blk != noBlock {
+				gt.analyzeBlock(blk, 0, &h)
+			}
+		case reprSlice, reprCuckoo:
+			n := uint64(ac.Degree())
+			h.ByProbe[0] += n
+			h.ByGeneration[0] += n
 		}
-		gt.analyzeBlock(blk, 0, &h)
 	}
 	for p := len(h.ByProbe) - 1; p >= 0; p-- {
 		if h.ByProbe[p] > 0 {
@@ -200,8 +209,41 @@ func (gt *GraphTinker) CheckInvariants() []string {
 		}
 		live += uint64(blockOcc)
 	}
-	if live != gt.numEdges {
-		report("live cells %d != numEdges %d", live, gt.numEdges)
+	// Container-resident edges (slice and cuckoo formats) live outside the
+	// block arena; together with the block cells they must account for
+	// every edge exactly once.
+	var contLive uint64
+	for d := range gt.cont {
+		ac := &gt.cont[d]
+		switch ac.kind {
+		case reprSlice, reprCuckoo:
+			contLive += uint64(ac.Degree())
+		}
+		if ac.kind != reprNone {
+			if got, want := ac.Degree(), gt.props.degree[uint32(d)]; got != want {
+				report("vertex dense=%d: container degree %d != props degree %d", d, got, want)
+			}
+			if gt.cfg.Repr == ReprAdaptive {
+				deg := int(gt.props.degree[uint32(d)])
+				switch ac.kind {
+				case reprSlice:
+					if deg > gt.cfg.SlicePromoteDegree {
+						report("vertex dense=%d: slice format at degree %d > promote threshold %d", d, deg, gt.cfg.SlicePromoteDegree)
+					}
+				case reprBlocks:
+					if deg <= gt.cfg.SliceDemoteDegree || deg > gt.cfg.CuckooPromoteDegree {
+						report("vertex dense=%d: blocks format at degree %d outside (%d, %d]", d, deg, gt.cfg.SliceDemoteDegree, gt.cfg.CuckooPromoteDegree)
+					}
+				case reprCuckoo:
+					if deg <= gt.cfg.CuckooDemoteDegree {
+						report("vertex dense=%d: cuckoo format at degree %d <= demote threshold %d", d, deg, gt.cfg.CuckooDemoteDegree)
+					}
+				}
+			}
+		}
+	}
+	if live+contLive != gt.numEdges {
+		report("live cells %d + container entries %d != numEdges %d", live, contLive, gt.numEdges)
 	}
 
 	// Degrees and findability.
@@ -239,11 +281,25 @@ func (gt *GraphTinker) CheckInvariants() []string {
 						continue
 					}
 					calSeen++
-					cell := gt.eba.cellAt(e.owner)
-					if cell.state != cellOccupied || cell.dst != e.dst {
-						report("CAL entry (%d,%d) owner cell mismatch", e.src, e.dst)
-					} else if cell.calPtr != makeCALPtr(b, s) {
-						report("CAL entry (%d,%d) back-pointer broken", e.src, e.dst)
+					if e.owner != invalidCellAddr {
+						// Block-format entry: the owning cell points back.
+						cell := gt.eba.cellAt(e.owner)
+						if cell.state != cellOccupied || cell.dst != e.dst {
+							report("CAL entry (%d,%d) owner cell mismatch", e.src, e.dst)
+						} else if cell.calPtr != makeCALPtr(b, s) {
+							report("CAL entry (%d,%d) back-pointer broken", e.src, e.dst)
+						}
+					} else {
+						// Container-owned entry (slice/cuckoo format): the
+						// mirror pointer is held inside the container.
+						d, ok := gt.denseLookup(e.src)
+						if !ok || uint32(len(gt.cont)) <= d {
+							report("CAL entry (%d,%d) has no source container", e.src, e.dst)
+						} else if p, found := gt.cont[d].calPtrOf(e.dst); !found {
+							report("CAL entry (%d,%d) not stored in its container", e.src, e.dst)
+						} else if p != makeCALPtr(b, s) {
+							report("CAL entry (%d,%d) container pointer broken", e.src, e.dst)
+						}
 					}
 				}
 			}

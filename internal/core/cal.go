@@ -141,22 +141,34 @@ func (c *calArray) patchWeight(p calPtr, w float32) {
 	c.entryAt(p).weight = w
 }
 
+// movedCAL identifies the entry that backfilled a CAL hole during
+// delete-and-compact: the owner cell address when the moved edge lives in
+// the block format (invalidCellAddr otherwise — slice and cuckoo entries
+// carry no owner back-pointer), plus the raw endpoints so a container-owned
+// entry can be re-pointed through its container's own lookup.
+type movedCAL struct {
+	owner    cellAddr
+	src, dst uint64
+	moved    bool
+}
+
 // removeCompact implements the delete-and-compact path for the CAL mirror:
 // the hole left by the deleted entry is filled with the last entry of the
 // same group's tail block, keeping every chain dense, and the tail block is
-// freed when it empties. It returns the owner cell whose calPtr must be
-// re-pointed at p (invalidCellAddr when no entry moved).
-func (c *calArray) removeCompact(p calPtr, dense uint32) (movedOwner cellAddr) {
+// freed when it empties. It returns the identity of the moved entry so the
+// caller can re-point whatever references the old location at p (see
+// GraphTinker.repointMovedCAL).
+func (c *calArray) removeCompact(p calPtr, dense uint32) movedCAL {
 	g := c.groupOf(dense)
 	tail := c.groupTail[g]
 	lastSlot := c.used[tail] - 1
 	lastPtr := makeCALPtr(tail, lastSlot)
 
-	movedOwner = invalidCellAddr
+	var mv movedCAL
 	if lastPtr != p {
 		moved := *c.entryAt(lastPtr)
 		*c.entryAt(p) = moved
-		movedOwner = moved.owner
+		mv = movedCAL{owner: moved.owner, src: moved.src, dst: moved.dst, moved: true}
 	}
 	le := c.entryAt(lastPtr)
 	le.valid = false
@@ -184,7 +196,7 @@ func (c *calArray) removeCompact(p calPtr, dense uint32) (movedOwner cellAddr) {
 		c.freeList = append(c.freeList, tail)
 		c.liveBlocks--
 	}
-	return movedOwner
+	return mv
 }
 
 // forEach streams every live edge copy group by group, block by block —

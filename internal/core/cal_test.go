@@ -90,10 +90,13 @@ func TestCALRemoveCompactPatchesMovedOwner(t *testing.T) {
 	c.append(0, 0, 11, 1, cellAddr(101))
 	p2 := c.append(0, 0, 12, 1, cellAddr(102))
 	// Removing the first entry must move the last entry (owner 102) into
-	// its slot and report that owner for re-pointing.
+	// its slot and report that entry's identity for re-pointing.
 	moved := c.removeCompact(p0, 0)
-	if moved != cellAddr(102) {
-		t.Fatalf("movedOwner = %d, want 102", moved)
+	if !moved.moved || moved.owner != cellAddr(102) {
+		t.Fatalf("moved = %+v, want owner 102", moved)
+	}
+	if moved.src != 0 || moved.dst != 12 {
+		t.Fatalf("moved identity = (%d,%d), want (0,12)", moved.src, moved.dst)
 	}
 	e := c.entryAt(p0)
 	if e.dst != 12 || !e.valid {
@@ -106,8 +109,8 @@ func TestCALRemoveCompactPatchesMovedOwner(t *testing.T) {
 	}
 	// Removing the tail entry itself moves nothing.
 	tailPtr := makeCALPtr(c.groupTail[0], c.used[c.groupTail[0]]-1)
-	if moved := c.removeCompact(tailPtr, 0); moved != invalidCellAddr {
-		t.Fatalf("removing tail reported a move: %d", moved)
+	if moved := c.removeCompact(tailPtr, 0); moved.moved {
+		t.Fatalf("removing tail reported a move: %+v", moved)
 	}
 }
 

@@ -7,7 +7,11 @@ import "testing"
 func TestArenaCrossesChunkBoundaries(t *testing.T) {
 	// defaultBlocksPerChunk is 1024; force several thousand blocks by
 	// giving every source its own top-parent plus overflow children.
-	gt := MustNew(DefaultConfig())
+	// Degree-3 vertices would stay in the slice format under the adaptive
+	// default, so pin the block representation — the arena is what's tested.
+	cfg := DefaultConfig()
+	cfg.Repr = ReprBlocks
+	gt := MustNew(cfg)
 	ref := newRefGraph()
 	const sources = 3000
 	for s := uint64(0); s < sources; s++ {

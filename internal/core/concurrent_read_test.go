@@ -13,7 +13,7 @@ import (
 )
 
 func TestConcurrentReaders(t *testing.T) {
-	gt := MustNew(DefaultConfig())
+	gt := MustNew(testConfig(t))
 	r := &testRand{s: 17}
 	for i := 0; i < 30000; i++ {
 		gt.InsertEdge(uint64(r.intn(100)), uint64(r.intn(1000)), 1)
@@ -74,7 +74,7 @@ func TestConcurrentReaders(t *testing.T) {
 // -race regression for the atomic stats counters (FindEdge counts probe
 // work, so before the counters went atomic two concurrent finds raced).
 func TestConcurrentFindAndWalkReaders(t *testing.T) {
-	gt := MustNew(DefaultConfig())
+	gt := MustNew(testConfig(t))
 	r := &testRand{s: 41}
 	edges := make([]Edge, 0, 20000)
 	for i := 0; i < 20000; i++ {
@@ -114,7 +114,7 @@ func TestConcurrentFindAndWalkReaders(t *testing.T) {
 // concurrent batch updates are in flight — the race-clean telemetry
 // contract of the sharded wrapper.
 func TestParallelStatsSnapshotMidBatch(t *testing.T) {
-	p, err := NewParallel(DefaultConfig(), 4)
+	p, err := NewParallel(testConfig(t), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestParallelTornReadDifferential(t *testing.T) {
 		batches   = 24
 		batchSize = 400
 	)
-	p, err := NewParallel(DefaultConfig(), shards)
+	p, err := NewParallel(testConfig(t), shards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestParallelTornReadDifferential(t *testing.T) {
 }
 
 func TestConcurrentReadersOnMirrored(t *testing.T) {
-	m := MustNewMirrored(DefaultConfig())
+	m := MustNewMirrored(testConfig(t))
 	r := &testRand{s: 23}
 	for i := 0; i < 10000; i++ {
 		m.InsertEdge(uint64(r.intn(50)), uint64(r.intn(50)), 1)

@@ -1,0 +1,155 @@
+package core
+
+// Per-vertex edge containers. The out-edge set of every vertex sits behind
+// the EdgeContainer interface, with three concrete formats:
+//
+//   - sliceContainer (repr_slice.go): a small sorted slice. The long
+//     low-degree tail of real graphs lives here — no blocks, no hashing,
+//     just a binary search over a handful of contiguous entries.
+//   - blockContainer (repr_blocks.go): the paper's hashed edgeblock tree
+//     (Robin Hood Hashing within subblocks, Tree-Based Hashing across
+//     generations). The default mid-range format.
+//   - cuckooContainer (repr_cuckoo.go): a bucketized cuckoo hash table for
+//     heavy hitters, where the block tree would otherwise grow deep
+//     overflow chains.
+//
+// adaptiveContainer (adaptive.go) is the per-vertex adaptor: it routes
+// operations to the active format and migrates between formats when the
+// degree crosses the Config thresholds (with hysteresis). Every vertex owns
+// one adaptiveContainer in GraphTinker.cont; the hot paths dispatch on its
+// kind tag directly — the interface is the architectural and testing
+// boundary, not a virtual-dispatch layer in the middle of a probe loop.
+//
+// The containers share the host instance's arenas and counters: block
+// storage lives in the host's edgeblockArray, every format mirrors its
+// edges into the host's CAL, and probe work lands in the host's stats.
+// Migration happens inside the mutation path (and therefore inside the
+// Parallel writer's shadow-replica apply), so the seqlock read protocol is
+// untouched: readers of a pinned replica never observe a half-migrated
+// vertex. The gtlint containeriface check keeps the boundary honest — no
+// code outside the container files may type-assert a concrete
+// implementation.
+
+import "fmt"
+
+// EdgeContainer is the per-vertex edge-set abstraction. Implementations
+// are bound to one (host GraphTinker, dense vertex id) pair and maintain
+// the host's CAL mirror and statistics as they mutate. The probe return of
+// the mutating and lookup calls is the number of entries inspected — the
+// probe-distance metric the instrumentation layer records.
+type EdgeContainer interface {
+	// Insert adds or updates edge (d, dst); isNew is false when an
+	// existing edge had its weight patched.
+	Insert(dst uint64, w float32) (isNew bool, probe int)
+	// Delete removes edge (d, dst), reporting whether it was present.
+	Delete(dst uint64) (removed bool, probe int)
+	// Find reports the stored weight of edge (d, dst).
+	Find(dst uint64) (w float32, probe int, ok bool)
+	// Degree is the number of live edges stored.
+	Degree() uint32
+	// Iterate visits every live edge in unspecified order, mutating
+	// nothing (safe for concurrent pinned readers). It returns false when
+	// the callback stopped the walk.
+	Iterate(fn func(dst uint64, w float32) bool) bool
+	// Snapshot returns the live edge set with raw source ids filled in.
+	Snapshot() []Edge
+}
+
+// Representation selects the per-vertex edge container format.
+type Representation uint8
+
+const (
+	// ReprAdaptive (the default) starts every vertex as a sorted slice and
+	// migrates it between formats as its degree crosses the Config
+	// thresholds.
+	ReprAdaptive Representation = iota
+	// ReprSlice forces the inline sorted-slice container for every vertex.
+	ReprSlice
+	// ReprBlocks forces the paper's hashed edgeblock-tree container.
+	ReprBlocks
+	// ReprCuckoo forces the bucketized cuckoo container.
+	ReprCuckoo
+)
+
+func (r Representation) String() string {
+	switch r {
+	case ReprAdaptive:
+		return "adaptive"
+	case ReprSlice:
+		return "slice"
+	case ReprBlocks:
+		return "blocks"
+	case ReprCuckoo:
+		return "cuckoo"
+	default:
+		return fmt.Sprintf("Representation(%d)", uint8(r))
+	}
+}
+
+// ParseRepresentation maps the String form (or "" for the default) back to
+// a Representation — the gtbench -repr flag and the conformance suite's
+// GT_REPR environment variable speak this vocabulary.
+func ParseRepresentation(s string) (Representation, error) {
+	switch s {
+	case "", "adaptive":
+		return ReprAdaptive, nil
+	case "slice":
+		return ReprSlice, nil
+	case "blocks":
+		return ReprBlocks, nil
+	case "cuckoo":
+		return ReprCuckoo, nil
+	default:
+		return 0, fmt.Errorf("core: unknown representation %q (adaptive|slice|blocks|cuckoo)", s)
+	}
+}
+
+// Default adaptive-migration thresholds (see the Config fields).
+const (
+	DefaultSlicePromoteDegree  = 32
+	DefaultSliceDemoteDegree   = 12
+	DefaultCuckooPromoteDegree = 2048
+	DefaultCuckooDemoteDegree  = 1024
+)
+
+// reprKind tags the active format of one vertex's adaptiveContainer. The
+// zero value means the vertex has never received an edge (its container is
+// uninitialized), which is what lets GraphTinker.cont grow zero-filled.
+type reprKind uint8
+
+const (
+	reprNone reprKind = iota
+	reprSlice
+	reprBlocks
+	reprCuckoo
+)
+
+func (k reprKind) String() string {
+	switch k {
+	case reprNone:
+		return "none"
+	case reprSlice:
+		return "slice"
+	case reprBlocks:
+		return "blocks"
+	case reprCuckoo:
+		return "cuckoo"
+	default:
+		return fmt.Sprintf("reprKind(%d)", uint8(k))
+	}
+}
+
+// initialKind maps a forced Representation to the kind every vertex starts
+// (and stays) in; ReprAdaptive starts at the slice tail.
+func (r Representation) initialKind() reprKind {
+	switch r {
+	case ReprSlice, ReprAdaptive:
+		return reprSlice
+	case ReprBlocks:
+		return reprBlocks
+	case ReprCuckoo:
+		return reprCuckoo
+	default:
+		return reprSlice
+	}
+}

@@ -17,47 +17,50 @@ func (gt *GraphTinker) DeleteEdge(src, dst uint64) bool {
 
 func (gt *GraphTinker) deleteEdge(src, dst uint64) (bool, int) {
 	d, ok := gt.denseLookup(src)
-	if !ok || uint32(len(gt.topBlock)) <= d || gt.topBlock[d] == noBlock {
+	if !ok || uint32(len(gt.cont)) <= d || gt.cont[d].kind == reprNone {
 		return false, 0
 	}
-	fr, found := gt.findCell(d, dst)
-	if !found {
-		return false, fr.cells
+	ac := &gt.cont[d]
+	removed, probe := ac.Delete(dst)
+	if !removed {
+		return false, probe
 	}
-
-	cell := &gt.eba.subblockCells(fr.block, fr.sb)[fr.slot]
-	ptr := cell.calPtr
-
-	switch gt.cfg.DeleteMode {
-	case DeleteOnly:
-		// Tombstone: the bucket reads as vacant to later insertions but is
-		// still traversed when following edges — no shrinking happens.
-		cell.state = cellTombstone
-		cell.calPtr = invalidCALPtr
-		gt.eba.decOcc(fr.block, fr.sb)
-		if gt.cal != nil && ptr.valid() {
-			gt.cal.invalidate(ptr)
-			gt.stats.calPatches.Add(1)
-		}
-	case DeleteAndCompact:
-		cell.state = cellEmpty
-		cell.calPtr = invalidCALPtr
-		gt.eba.decOcc(fr.block, fr.sb)
-		if gt.cal != nil && ptr.valid() {
-			if movedOwner := gt.cal.removeCompact(ptr, d); movedOwner != invalidCellAddr {
-				// The CAL entry that filled the hole now lives at ptr;
-				// re-point its owning EdgeblockArray cell.
-				gt.eba.cellAt(movedOwner).calPtr = ptr
-			}
-			gt.stats.calPatches.Add(1)
-		}
-		gt.compactHole(fr.block, fr.sb, fr.slot)
-	}
-
 	gt.props.degree[d]--
 	gt.numEdges--
 	gt.stats.deletes.Add(1)
-	return true, fr.cells
+	return true, probe
+}
+
+// dropCALEntry removes the mirror copy of a deleted edge according to the
+// configured deletion mechanism. Shared by every container format.
+func (gt *GraphTinker) dropCALEntry(ptr calPtr, d uint32) {
+	if gt.cal == nil || !ptr.valid() {
+		return
+	}
+	switch gt.cfg.DeleteMode {
+	case DeleteOnly:
+		gt.cal.invalidate(ptr)
+	case DeleteAndCompact:
+		gt.repointMovedCAL(gt.cal.removeCompact(ptr, d), ptr)
+	}
+	gt.stats.calPatches.Add(1)
+}
+
+// repointMovedCAL re-points whatever references the CAL entry that
+// backfilled a compacted hole: the owning EdgeblockArray cell when the
+// moved edge lives in the block format, otherwise the moved edge's own
+// container (slice/cuckoo entries carry the mirror pointer themselves).
+func (gt *GraphTinker) repointMovedCAL(mv movedCAL, p calPtr) {
+	if !mv.moved {
+		return
+	}
+	if mv.owner != invalidCellAddr {
+		gt.eba.cellAt(mv.owner).calPtr = p
+		return
+	}
+	if d, ok := gt.denseLookup(mv.src); ok && uint32(len(gt.cont)) > d {
+		gt.cont[d].repointCAL(mv.dst, p)
+	}
 }
 
 // DeleteBatch removes a batch of edges, returning how many were present.

@@ -31,6 +31,7 @@ func TestDeleteAbsentEdge(t *testing.T) {
 func TestDeleteOnlyLeavesTombstones(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DeleteMode = DeleteOnly
+	cfg.Repr = ReprBlocks // tombstone decay is a block-format phenomenon
 	gt := MustNew(cfg)
 	for i := 0; i < 1000; i++ {
 		gt.InsertEdge(1, uint64(i), 1)
@@ -62,6 +63,7 @@ func TestDeleteOnlyLeavesTombstones(t *testing.T) {
 func TestDeleteAndCompactShrinks(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DeleteMode = DeleteAndCompact
+	cfg.Repr = ReprBlocks // block counts are the property under test
 	gt := MustNew(cfg)
 	for i := 0; i < 5000; i++ {
 		gt.InsertEdge(1, uint64(i), 1)
@@ -141,6 +143,7 @@ func TestDeleteAndCompactKeepsStructureDense(t *testing.T) {
 func TestTombstoneSlotsAreReused(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DeleteMode = DeleteOnly
+	cfg.Repr = ReprBlocks // tombstone reuse is a block-format phenomenon
 	gt := MustNew(cfg)
 	for i := 0; i < 500; i++ {
 		gt.InsertEdge(1, uint64(i), 1)

@@ -27,7 +27,7 @@ func FuzzParallelOps(f *testing.F) {
 		if len(data) > 0 {
 			shards = 1 + int(data[0]%4)
 		}
-		cfg := DefaultConfig()
+		cfg := testConfig(t)
 		cfg.PageWidth = 16 // small geometry branches sooner
 		p, err := NewParallel(cfg, shards)
 		if err != nil {

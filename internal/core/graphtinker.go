@@ -19,8 +19,13 @@ type GraphTinker struct {
 	cal *calArray      // nil when Config.EnableCAL is false
 
 	// topBlock maps a dense source id to its top-parent edgeblock in the
-	// main region (noBlock until the vertex receives its first edge).
+	// main region (noBlock while the vertex is not in the block format).
 	topBlock []int32
+
+	// cont maps a dense source id to its per-vertex edge container — the
+	// adaptor that routes operations to the vertex's active representation
+	// and migrates it across the degree thresholds (see container.go).
+	cont []adaptiveContainer
 
 	props *vertexProps
 
@@ -47,6 +52,9 @@ func New(cfg Config) (*GraphTinker, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Store the normalized form so the instance's migration thresholds are
+	// always concrete (zero fields mean "default", see withReprDefaults).
+	cfg = cfg.withReprDefaults()
 	gt := &GraphTinker{
 		cfg:   cfg,
 		geo:   newGeometry(cfg),
@@ -62,6 +70,7 @@ func New(cfg Config) (*GraphTinker, error) {
 	}
 	if cfg.InitialVertexCapacity > 0 {
 		gt.topBlock = make([]int32, 0, cfg.InitialVertexCapacity)
+		gt.cont = make([]adaptiveContainer, 0, cfg.InitialVertexCapacity)
 	}
 	return gt, nil
 }
@@ -118,6 +127,7 @@ func (gt *GraphTinker) rawOf(dense uint32) uint64 {
 func (gt *GraphTinker) ensureDense(d uint32) {
 	for uint32(len(gt.topBlock)) <= d {
 		gt.topBlock = append(gt.topBlock, noBlock)
+		gt.cont = append(gt.cont, adaptiveContainer{})
 	}
 	gt.props.ensure(d)
 }
@@ -145,8 +155,8 @@ func (gt *GraphTinker) NonEmptySources() int {
 		return gt.sgh.count()
 	}
 	n := 0
-	for _, b := range gt.topBlock {
-		if b != noBlock {
+	for d := range gt.cont {
+		if gt.cont[d].kind != reprNone {
 			n++
 		}
 	}
@@ -208,6 +218,9 @@ func (gt *GraphTinker) Memory() MemoryFootprint {
 		EdgeblockArrayBytes: gt.eba.memoryBytes() + uint64(len(gt.topBlock))*4,
 		VertexPropsBytes:    gt.props.memoryBytes(),
 	}
+	for d := range gt.cont {
+		m.ContainerBytes += gt.cont[d].memoryBytes()
+	}
 	if gt.sgh != nil {
 		m.SGHBytes = gt.sgh.memoryBytes()
 	}
@@ -224,6 +237,14 @@ func (gt *GraphTinker) OccupancyReport() Occupancy {
 		CellsAllocated: uint64(gt.eba.liveBlocks) * uint64(gt.geo.pageWidth),
 		LiveBlocks:     gt.eba.liveBlocks,
 		FreeBlocks:     len(gt.eba.freeList),
+	}
+	for d := range gt.cont {
+		switch gt.cont[d].kind {
+		case reprSlice:
+			o.SliceSlots += uint64(gt.cont[d].slice.Degree())
+		case reprCuckoo:
+			o.CuckooSlots += uint64(len(gt.cont[d].cuckoo.slots))
+		}
 	}
 	if gt.cal != nil {
 		o.CALLiveEdges = gt.cal.liveEdges
@@ -301,17 +322,10 @@ func (gt *GraphTinker) FindEdge(src, dst uint64) (float32, bool) {
 func (gt *GraphTinker) findEdge(src, dst uint64) (float32, int, bool) {
 	gt.stats.finds.Add(1)
 	d, ok := gt.denseLookup(src)
-	if !ok {
+	if !ok || uint32(len(gt.cont)) <= d || gt.cont[d].kind == reprNone {
 		return 0, 0, false
 	}
-	if gt.topBlock[d] == noBlock {
-		return 0, 0, false
-	}
-	fr, found := gt.findCell(d, dst)
-	if !found {
-		return 0, fr.cells, false
-	}
-	return gt.eba.subblockCells(fr.block, fr.sb)[fr.slot].weight, fr.cells, true
+	return gt.cont[d].Find(dst)
 }
 
 // writeCell stores c at (blk, sb, slot), keeping occupancy and the CAL
@@ -426,56 +440,15 @@ func (gt *GraphTinker) insertEdge(src, dst uint64, w float32) (bool, int) {
 	d := gt.denseOf(src)
 	gt.ensureDense(d)
 
-	if gt.topBlock[d] == noBlock {
-		gt.topBlock[d] = gt.eba.allocBlock(noBlock, 0)
-		gt.stats.blocksAllocated.Add(1)
+	ac := &gt.cont[d]
+	if ac.kind == reprNone {
+		ac.init(gt, d)
 	}
-
-	// FIND mode: update in place when the edge already exists.
-	fr, found := gt.findCell(d, dst)
-	probe := fr.cells
-	if found {
-		cell := &gt.eba.subblockCells(fr.block, fr.sb)[fr.slot]
-		cell.weight = w
-		if gt.cal != nil && cell.calPtr.valid() {
-			gt.cal.patchWeight(cell.calPtr, w)
-			gt.stats.calPatches.Add(1)
-		}
+	isNew, probe := ac.Insert(dst, w)
+	if !isNew {
 		gt.stats.updates.Add(1)
 		return false, probe
 	}
-
-	// INSERT mode: mirror into the CAL first so the floating cell carries
-	// its CAL pointer; every placement (including RHH swaps) re-points the
-	// mirror's owner address via writeCell.
-	float := edgeCell{dst: dst, weight: w, calPtr: invalidCALPtr, state: cellOccupied}
-	if gt.cal != nil {
-		float.calPtr = gt.cal.append(d, src, dst, w, invalidCellAddr)
-		gt.stats.calAppends.Add(1)
-	}
-
-	blk := gt.topBlock[d]
-	gen := 0
-	for {
-		sb := gt.subblockFor(float.dst, gen)
-		outcome, evicted, scanned := gt.placeInSubblock(blk, sb, float)
-		probe += scanned
-		if outcome == placedHere {
-			break
-		}
-		float = evicted
-		child := gt.eba.childOf(blk, sb)
-		if child == noBlock {
-			child = gt.eba.allocBlock(blk, sb)
-			gt.eba.setChild(blk, sb, child)
-			gt.stats.branches.Add(1)
-			gt.stats.blocksAllocated.Add(1)
-		}
-		blk = child
-		gen++
-		gt.stats.observeGeneration(gen)
-	}
-
 	gt.props.degree[d]++
 	gt.numEdges++
 	gt.stats.inserts.Add(1)

@@ -157,7 +157,11 @@ func TestHighDegreeVertexBranchesOut(t *testing.T) {
 }
 
 func TestSparseVertexIDsWithSGH(t *testing.T) {
-	gt := MustNew(DefaultConfig())
+	// Block representation pinned: the one-top-parent-per-source claim
+	// below is about the SGH-densified main region of the block format.
+	cfg := DefaultConfig()
+	cfg.Repr = ReprBlocks
+	gt := MustNew(cfg)
 	ref := newRefGraph()
 	// The paper's motivating example: source ids 34 and 22789 should not be
 	// 22755 slots apart in the main region.

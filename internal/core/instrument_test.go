@@ -91,3 +91,57 @@ func TestParallelSharedRecorder(t *testing.T) {
 		t.Fatalf("shared recorder saw %d inserts, want %d", got, len(batch))
 	}
 }
+
+// TestInstrumentAttachDetachCycles cycles a shared recorder on and off a
+// Parallel wrapper between quiesced batches (the documented contract: never
+// while operations are in flight). The recorder must observe exactly the
+// instrumented batches' operations — no samples from detached windows, and
+// no double counting from the seqlock's catch-up replay applying each batch
+// to the second replica.
+func TestInstrumentAttachDetachCycles(t *testing.T) {
+	p, err := NewParallel(testConfig(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rec := metrics.NewUpdateRecorder()
+
+	var wantInserts, wantFinds, wantDeletes uint64
+	next := uint64(0)
+	batch := func(n int) []Edge {
+		es := make([]Edge, n)
+		for i := range es {
+			es[i] = Edge{Src: next % 16, Dst: 1000 + next, Weight: 1}
+			next++
+		}
+		return es
+	}
+	for cycle := 0; cycle < 40; cycle++ {
+		p.Instrument(rec)
+		in := batch(25)
+		p.InsertBatch(in)
+		wantInserts += uint64(len(in))
+		for _, e := range in[:5] {
+			p.FindEdge(e.Src, e.Dst)
+		}
+		wantFinds += 5
+		p.DeleteBatch(in[:10])
+		wantDeletes += 10
+		p.Instrument(nil)
+		// Detached window: none of this may be sampled.
+		p.InsertBatch(batch(25))
+		p.FindEdge(0, 0)
+		p.DeleteBatch(in[10:15])
+	}
+
+	s := rec.Snapshot()
+	if s.InsertLatencyNs.Count != wantInserts || s.InsertProbe.Count != wantInserts {
+		t.Fatalf("insert samples = %d/%d, want exactly %d", s.InsertLatencyNs.Count, s.InsertProbe.Count, wantInserts)
+	}
+	if s.FindLatencyNs.Count != wantFinds {
+		t.Fatalf("find samples = %d, want exactly %d", s.FindLatencyNs.Count, wantFinds)
+	}
+	if s.DeleteLatencyNs.Count != wantDeletes {
+		t.Fatalf("delete samples = %d, want exactly %d", s.DeleteLatencyNs.Count, wantDeletes)
+	}
+}

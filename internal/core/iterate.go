@@ -1,19 +1,16 @@
 package core
 
-// ForEachOutEdge visits every live out-edge of src (in unspecified order) by
-// walking the vertex's top-parent edgeblock and every descendant edgeblock
-// in the overflow region. This is the random-access retrieval path the
-// incremental-processing mode uses. The callback returns false to stop.
+// ForEachOutEdge visits every live out-edge of src (in unspecified order)
+// through the vertex's active edge container — for the block format this
+// walks the top-parent edgeblock and every descendant in the overflow
+// region. This is the random-access retrieval path the incremental-
+// processing mode uses. The callback returns false to stop.
 func (gt *GraphTinker) ForEachOutEdge(src uint64, fn func(dst uint64, w float32) bool) {
 	d, ok := gt.denseLookup(src)
-	if !ok || uint32(len(gt.topBlock)) <= d {
+	if !ok || uint32(len(gt.cont)) <= d || gt.cont[d].kind == reprNone {
 		return
 	}
-	blk := gt.topBlock[d]
-	if blk == noBlock {
-		return
-	}
-	gt.walkSubtree(blk, fn)
+	gt.cont[d].Iterate(fn)
 }
 
 // walkSubtree visits occupied cells of blk and all its descendants,
@@ -68,13 +65,12 @@ func (gt *GraphTinker) ForEachEdge(fn func(src, dst uint64, w float32) bool) {
 		gt.cal.forEach(fn)
 		return
 	}
-	for d := 0; d < len(gt.topBlock); d++ {
-		blk := gt.topBlock[d]
-		if blk == noBlock {
+	for d := 0; d < len(gt.cont); d++ {
+		if gt.cont[d].kind == reprNone {
 			continue
 		}
 		src := gt.rawOf(uint32(d))
-		if !gt.walkSubtree(blk, func(dst uint64, w float32) bool {
+		if !gt.cont[d].Iterate(func(dst uint64, w float32) bool {
 			return fn(src, dst, w)
 		}) {
 			return
@@ -105,8 +101,8 @@ func (gt *GraphTinker) OutEdges(src uint64) []Edge {
 // ForEachSource visits every source vertex that currently has at least one
 // live out-edge, in dense-id order.
 func (gt *GraphTinker) ForEachSource(fn func(src uint64, degree uint32) bool) {
-	for d := 0; d < len(gt.topBlock); d++ {
-		if gt.topBlock[d] == noBlock {
+	for d := 0; d < len(gt.cont); d++ {
+		if gt.cont[d].kind == reprNone {
 			continue
 		}
 		deg := gt.props.degree[d]

@@ -143,6 +143,7 @@ func TestPruneEmptySubtree(t *testing.T) {
 	// force a compactHole through it.
 	cfg := DefaultConfig()
 	cfg.DeleteMode = DeleteAndCompact
+	cfg.Repr = ReprBlocks // whitebox test of the block-format compactor
 	gt := MustNew(cfg)
 	gt.InsertEdge(1, 2, 1) // allocates the top block
 	top := gt.topBlock[0]

@@ -15,7 +15,7 @@ import (
 )
 
 func TestParallelConcurrentWritersAndReaders(t *testing.T) {
-	p, err := NewParallel(DefaultConfig(), 4)
+	p, err := NewParallel(testConfig(t), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestParallelConcurrentWritersAndReaders(t *testing.T) {
 // TestParallelApplyShardMatchesOracle pins ApplyShard's ordered-apply
 // semantics (sequentially) against the shared oracle.
 func TestParallelApplyShardMatchesOracle(t *testing.T) {
-	p, err := NewParallel(DefaultConfig(), 3)
+	p, err := NewParallel(testConfig(t), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestParallelApplyShardMatchesOracle(t *testing.T) {
 // TestParallelReadSurfaceSatisfiesTestutilStore is a compile-time-ish pin:
 // the sharded store keeps satisfying the shared oracle-check interface.
 func TestParallelReadSurfaceSatisfiesTestutilStore(t *testing.T) {
-	p, err := NewParallel(DefaultConfig(), 2)
+	p, err := NewParallel(testConfig(t), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

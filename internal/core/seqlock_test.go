@@ -18,7 +18,7 @@ import (
 // version stays even between publications, and both replicas reconverge.
 func TestShardCtlPublishFlipsActive(t *testing.T) {
 	var sc shardCtl
-	sc.init(DefaultConfig())
+	sc.init(testConfig(t))
 
 	g0, idx0 := sc.pinRead()
 	if g0 != sc.quiescedInstance() {
@@ -76,7 +76,7 @@ func TestShardCtlPublishFlipsActive(t *testing.T) {
 // leaked the shard lock and every later writer deadlocked; the pin release
 // is deferred exactly to keep this recoverable.
 func TestReaderPanicDoesNotWedgeWriters(t *testing.T) {
-	p, err := NewParallel(DefaultConfig(), 4)
+	p, err := NewParallel(testConfig(t), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestReaderPanicDoesNotWedgeWriters(t *testing.T) {
 // race by making the stats atomic; the seqlock's replica pair must neither
 // reintroduce the race nor double-count through the catch-up replay.
 func TestParallelFindEdgeStatsMonotonicUnderWrites(t *testing.T) {
-	p, err := NewParallel(DefaultConfig(), 4)
+	p, err := NewParallel(testConfig(t), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func FuzzSeqlockInterleave(f *testing.F) {
 		readers := int(nr%3) + 1
 		batchSize := 64 + int(seed%64)
 
-		p, err := NewParallel(DefaultConfig(), shards)
+		p, err := NewParallel(testConfig(t), shards)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -270,4 +270,87 @@ func FuzzSeqlockInterleave(f *testing.F) {
 			t.Fatalf("differential end state: %d edges left, want 0", n)
 		}
 	})
+}
+
+// TestParallelStatsExactlyOnceAcrossMigrations extends the stats-monotonic
+// family to the adaptive representation: with tiny thresholds, batches push
+// every vertex across both promote boundaries and back down while readers
+// snapshot Stats concurrently. The replica-summed Promotions/Demotions must
+// (a) never go backwards mid-churn and (b) at quiescence equal exactly the
+// counts of a serial instance fed the same op stream — each migration runs
+// on both replicas of a shard (shadow apply plus catch-up replay) but must
+// be counted once.
+func TestParallelStatsExactlyOnceAcrossMigrations(t *testing.T) {
+	cfg := tinyThresholds(testConfig(t))
+	cfg.Repr = ReprAdaptive // migrations are the subject regardless of GT_REPR
+	p, err := NewParallel(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	serial := MustNew(cfg)
+
+	const vertices = 32
+	var up, down []Edge
+	for v := uint64(0); v < vertices; v++ {
+		// Degree climbs to 30 (slice→blocks at 9, blocks→cuckoo at 25)...
+		for d := uint64(1); d <= 30; d++ {
+			up = append(up, Edge{v, d, 1})
+		}
+		// ...then falls to 2 (cuckoo→blocks at 16, blocks→slice at 4).
+		for d := uint64(1); d <= 28; d++ {
+			down = append(down, Edge{v, d, 0})
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < 3; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			var prev Stats
+			for i := k; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.FindEdge(uint64(i%vertices), uint64(i%30)+1)
+				if i%32 == k {
+					cur := p.Stats()
+					if cur.Promotions < prev.Promotions || cur.Demotions < prev.Demotions ||
+						cur.Inserts < prev.Inserts || cur.Deletes < prev.Deletes {
+						panic(fmt.Sprintf("migration stats went backwards: %+v -> %+v", prev, cur))
+					}
+					prev = cur
+				}
+			}
+		}(k)
+	}
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		p.InsertBatch(up)
+		p.DeleteBatch(down)
+		serial.InsertBatch(up)
+		serial.DeleteBatch(down)
+	}
+	close(stop)
+	wg.Wait()
+
+	ps, ss := p.Stats(), serial.Stats()
+	if ps.Promotions != ss.Promotions || ps.Demotions != ss.Demotions {
+		t.Fatalf("migrations not exactly-once: parallel %d/%d promotions/demotions, serial %d/%d",
+			ps.Promotions, ps.Demotions, ss.Promotions, ss.Demotions)
+	}
+	if ps.Inserts != ss.Inserts || ps.Deletes != ss.Deletes || ps.Updates != ss.Updates {
+		t.Fatalf("mutation counters diverged from serial: %d/%d/%d vs %d/%d/%d",
+			ps.Inserts, ps.Deletes, ps.Updates, ss.Inserts, ss.Deletes, ss.Updates)
+	}
+	// The workload genuinely migrated: 2 promotions and 2 demotions per
+	// vertex per round, every round (degree 2 re-climbs through both
+	// boundaries).
+	if want := uint64(vertices * 2 * rounds); ps.Promotions != want || ps.Demotions != want {
+		t.Fatalf("promotions/demotions = %d/%d, want %d each", ps.Promotions, ps.Demotions, want)
+	}
 }

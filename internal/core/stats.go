@@ -26,6 +26,11 @@ type Stats struct {
 	BlocksFreed     uint64 `json:"blocks_freed"`
 	CompactionMoves uint64 `json:"compaction_moves"` // cells pulled up by delete-and-compact
 
+	// Adaptive-representation migrations (slice→blocks and blocks→cuckoo
+	// are promotions; the reverse directions are demotions).
+	Promotions uint64 `json:"promotions"`
+	Demotions  uint64 `json:"demotions"`
+
 	// CAL mirror.
 	CALAppends uint64 `json:"cal_appends"`
 	CALPatches uint64 `json:"cal_patches"` // weight patches + owner re-points + invalidations
@@ -47,6 +52,8 @@ func (s *Stats) Add(other Stats) {
 	s.BlocksAllocated += other.BlocksAllocated
 	s.BlocksFreed += other.BlocksFreed
 	s.CompactionMoves += other.CompactionMoves
+	s.Promotions += other.Promotions
+	s.Demotions += other.Demotions
 	s.CALAppends += other.CALAppends
 	s.CALPatches += other.CALPatches
 }
@@ -68,6 +75,7 @@ type statsCounters struct {
 	maxGeneration                           atomic.Int64
 	blocksAllocated, blocksFreed            atomic.Uint64
 	compactionMoves, calAppends, calPatches atomic.Uint64
+	promotions, demotions                   atomic.Uint64
 }
 
 // observeGeneration raises maxGeneration to gen if it is deeper than any
@@ -98,6 +106,8 @@ func (s *statsCounters) snapshot() Stats {
 		BlocksAllocated:     s.blocksAllocated.Load(),
 		BlocksFreed:         s.blocksFreed.Load(),
 		CompactionMoves:     s.compactionMoves.Load(),
+		Promotions:          s.promotions.Load(),
+		Demotions:           s.demotions.Load(),
 		CALAppends:          s.calAppends.Load(),
 		CALPatches:          s.calPatches.Load(),
 	}
@@ -117,6 +127,8 @@ func (s *statsCounters) reset() {
 	s.blocksAllocated.Store(0)
 	s.blocksFreed.Store(0)
 	s.compactionMoves.Store(0)
+	s.promotions.Store(0)
+	s.demotions.Store(0)
 	s.calAppends.Store(0)
 	s.calPatches.Store(0)
 }
@@ -127,11 +139,15 @@ type MemoryFootprint struct {
 	CALBytes            uint64
 	SGHBytes            uint64
 	VertexPropsBytes    uint64
+	// ContainerBytes is the retained footprint of the container-owned
+	// buffers (slice entries and cuckoo slots, including buffers kept for
+	// reuse after a demotion). Block storage is in EdgeblockArrayBytes.
+	ContainerBytes uint64
 }
 
 // Total sums all components.
 func (m MemoryFootprint) Total() uint64 {
-	return m.EdgeblockArrayBytes + m.CALBytes + m.SGHBytes + m.VertexPropsBytes
+	return m.EdgeblockArrayBytes + m.CALBytes + m.SGHBytes + m.VertexPropsBytes + m.ContainerBytes
 }
 
 // Occupancy describes how compactly the EdgeblockArray stores the live edge
@@ -142,17 +158,26 @@ type Occupancy struct {
 	CellsAllocated uint64
 	LiveBlocks     int
 	FreeBlocks     int
-	CALLiveEdges   uint64
-	CALSlots       uint64
-	CALLiveBlocks  int
+	// SliceSlots / CuckooSlots count the storage slots of vertices whose
+	// ACTIVE representation is the slice or cuckoo format (slice slots are
+	// exactly its live entries; cuckoo slots include its empty buckets).
+	// Retained-but-inactive buffers are memory, not occupancy — they show
+	// up in MemoryFootprint.ContainerBytes only.
+	SliceSlots    uint64
+	CuckooSlots   uint64
+	CALLiveEdges  uint64
+	CALSlots      uint64
+	CALLiveBlocks int
 }
 
-// Fill is the fraction of allocated edge cells holding a live edge.
+// Fill is the fraction of allocated edge-storage slots (block cells plus
+// active slice/cuckoo slots) holding a live edge.
 func (o Occupancy) Fill() float64 {
-	if o.CellsAllocated == 0 {
+	total := o.CellsAllocated + o.SliceSlots + o.CuckooSlots
+	if total == 0 {
 		return 0
 	}
-	return float64(o.LiveEdges) / float64(o.CellsAllocated)
+	return float64(o.LiveEdges) / float64(total)
 }
 
 // CALFill is the fraction of reachable CAL slots holding a live edge copy.
