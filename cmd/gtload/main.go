@@ -8,15 +8,21 @@
 //	gtload -rmat-scale 18 -edge-factor 16
 //	gtload -dataset RMAT_2M_32M -scale 128 -pagewidth 128 -no-cal
 //	gtload -rmat-scale 20 -shards 8 -stream -metrics-out stream.json
+//	gtload -rmat-scale 18 -wal-dir ./primary -replicate-addr :7000
+//	gtload -follow ./replica -primary-addr localhost:7000 -wait-lsn 4194304
+//	gtload -follow ./replica -promote
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	graphtinker "graphtinker"
@@ -54,6 +60,11 @@ func main() {
 		snapEvery  = flag.Uint64("snapshot-every", 0, "-wal-dir: auto-checkpoint after this many ops (0 = only at exit)")
 		syncEvery  = flag.Duration("sync-interval", 2*time.Millisecond, "-wal-dir: WAL group-commit period (0 = fsync every append, -1ns = barriers only)")
 		recoverF   = flag.Bool("recover", false, "-wal-dir: recover existing state from the directory before loading (no data flags = report and exit)")
+		replAddr   = flag.String("replicate-addr", "", "-wal-dir: serve the checkpoint + live WAL tail to followers on this TCP address (keeps serving after the load until interrupted)")
+		follow     = flag.String("follow", "", "follower durability directory: replicate from -primary-addr instead of loading")
+		primAddr   = flag.String("primary-addr", "", "-follow: primary TCP address to stream from")
+		waitLSN    = flag.Uint64("wait-lsn", 0, "-follow: exit once the replica has applied every op below this LSN (read-your-writes barrier)")
+		promote    = flag.Bool("promote", false, "-follow: promote the replica directory to a primary (bumps the epoch) and exit; reopen it with -wal-dir -replicate-addr to serve")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the load to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -96,6 +107,36 @@ func main() {
 			fmt.Printf("%-18s %-10s %12d vertices %14d edges\n", d.Name, d.Kind, d.Vertices, d.Edges)
 		}
 		return
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.PageWidth = *pagewidth
+	cfg.EnableCAL = !*noCAL
+	cfg.EnableSGH = !*noSGH
+	if *compact {
+		cfg.DeleteMode = core.DeleteAndCompact
+	}
+
+	if *follow != "" {
+		if *walDirF != "" {
+			fatal("-follow and -wal-dir are mutually exclusive (a process is a primary or a replica, not both)")
+		}
+		runFollower(cfg, followFlags{
+			dir:        *follow,
+			addr:       *primAddr,
+			waitLSN:    *waitLSN,
+			promote:    *promote,
+			shards:     *shards,
+			syncEvery:  *syncEvery,
+			metricsOut: *metricsOut,
+		})
+		return
+	}
+	if *primAddr != "" || *waitLSN > 0 || *promote {
+		fatal("-primary-addr, -wait-lsn and -promote need -follow")
+	}
+	if *replAddr != "" && *walDirF == "" {
+		fatal("-replicate-addr needs -wal-dir (followers stream the WAL)")
 	}
 
 	var batches [][]rmat.Edge
@@ -145,25 +186,19 @@ func main() {
 		fatal("need -dataset, -rmat-scale or -file (use -list to see datasets)")
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.PageWidth = *pagewidth
-	cfg.EnableCAL = !*noCAL
-	cfg.EnableSGH = !*noSGH
-	if *compact {
-		cfg.DeleteMode = core.DeleteAndCompact
-	}
 	if *walDirF != "" {
 		if *histograms {
 			fmt.Fprintln(os.Stderr, "gtload: -histograms is only available for the single-instance path")
 		}
 		loadDurable(cfg, batches, label, durableFlags{
-			dir:        *walDirF,
-			shards:     *shards,
-			coalesce:   *coalesce,
-			snapEvery:  *snapEvery,
-			syncEvery:  *syncEvery,
-			recover:    *recoverF,
-			metricsOut: *metricsOut,
+			dir:           *walDirF,
+			shards:        *shards,
+			coalesce:      *coalesce,
+			snapEvery:     *snapEvery,
+			syncEvery:     *syncEvery,
+			recover:       *recoverF,
+			replicateAddr: *replAddr,
+			metricsOut:    *metricsOut,
 		})
 		return
 	}
@@ -364,13 +399,14 @@ func loadSharded(cfg core.Config, batches [][]rmat.Edge, label string, shards in
 }
 
 type durableFlags struct {
-	dir        string
-	shards     int
-	coalesce   int
-	snapEvery  uint64
-	syncEvery  time.Duration
-	recover    bool
-	metricsOut string
+	dir           string
+	shards        int
+	coalesce      int
+	snapEvery     uint64
+	syncEvery     time.Duration
+	recover       bool
+	replicateAddr string
+	metricsOut    string
 }
 
 // loadDurable drives the crash-safe streaming path: every op is WAL-logged
@@ -379,7 +415,7 @@ type durableFlags struct {
 // later -recover run restores the durable prefix exactly.
 func loadDurable(cfg core.Config, batches [][]rmat.Edge, label string, f durableFlags) {
 	wrec := graphtinker.NewWALRecorder()
-	ds, err := graphtinker.OpenDurableStream(cfg, f.dir, graphtinker.DurableStreamOptions{
+	streamOpts := graphtinker.DurableStreamOptions{
 		Shards:   f.shards,
 		Pipeline: graphtinker.StreamPipelineOptions{MaxBatch: f.coalesce},
 		Durability: graphtinker.DurabilityOptions{
@@ -387,9 +423,37 @@ func loadDurable(cfg core.Config, batches [][]rmat.Edge, label string, f durable
 			SnapshotEvery: f.snapEvery,
 			Recorder:      wrec,
 		},
-	})
-	if err != nil {
-		fatal("%v", err)
+	}
+	var (
+		ds   *graphtinker.DurableStream
+		rs   *graphtinker.ReplicatedStream
+		rrec *graphtinker.ReplicationRecorder
+		err  error
+	)
+	if f.replicateAddr != "" {
+		rrec = graphtinker.NewReplicationRecorder()
+		rs, err = graphtinker.OpenReplicatedStream(cfg, f.dir, graphtinker.ReplicatedStreamOptions{
+			Stream:            streamOpts,
+			HeartbeatInterval: 500 * time.Millisecond,
+			Recorder:          rrec,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		ds = rs.DurableStream
+		ln, lerr := net.Listen("tcp", f.replicateAddr)
+		if lerr != nil {
+			fatal("-replicate-addr: %v", lerr)
+		}
+		if serr := rs.Serve(ln); serr != nil {
+			fatal("-replicate-addr: %v", serr)
+		}
+		fmt.Printf("serving followers on %s (epoch %d)\n", ln.Addr(), ds.Epoch())
+	} else {
+		ds, err = graphtinker.OpenDurableStream(cfg, f.dir, streamOpts)
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
 	info := ds.Recovery()
 	if info.Recovered {
@@ -433,6 +497,17 @@ func loadDurable(cfg core.Config, batches [][]rmat.Edge, label string, f durable
 	}
 	elapsed := time.Since(start)
 
+	// A serving primary keeps streaming to followers after the load;
+	// telemetry and exit wait for the operator.
+	if rs != nil {
+		fmt.Printf("load complete at LSN %d; serving followers on %s until interrupted\n",
+			ds.NextLSN(), f.replicateAddr)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		signal.Stop(sig)
+	}
+
 	st := ds.Store().Stats()
 	totals := ds.Totals()
 	if total > 0 {
@@ -450,18 +525,26 @@ func loadDurable(cfg core.Config, batches [][]rmat.Edge, label string, f durable
 		fmt.Printf("wal recovery:        %d ops replayed, %d torn bytes truncated\n",
 			snap.ReplayedOps, snap.TruncatedBytes)
 	}
+	var rsnap *graphtinker.ReplicationRecorderSnapshot
+	if rrec != nil {
+		s := rrec.Snapshot()
+		rsnap = &s
+		fmt.Printf("replication:         %d records / %d ops shipped in %d frames (%.1f MB), %d snapshot bootstraps, %d stale-epoch rejects\n",
+			s.RecordsShipped, s.OpsShipped, s.FramesSent, mb(s.BytesShipped), s.SnapshotsSent, s.StaleEpochRejects)
+	}
 
 	if f.metricsOut != "" {
 		doc := struct {
-			Label    string                          `json:"label"`
-			Shards   int                             `json:"shards"`
-			Edges    int                             `json:"edges"`
-			Seconds  float64                         `json:"seconds"`
-			Recovery graphtinker.RecoveryInfo        `json:"recovery"`
-			Store    core.Stats                      `json:"store"`
-			Totals   graphtinker.StreamTotals        `json:"totals"`
-			WAL      graphtinker.WALRecorderSnapshot `json:"wal"`
-		}{label, f.shards, total, elapsed.Seconds(), info, st, totals, snap}
+			Label       string                                   `json:"label"`
+			Shards      int                                      `json:"shards"`
+			Edges       int                                      `json:"edges"`
+			Seconds     float64                                  `json:"seconds"`
+			Recovery    graphtinker.RecoveryInfo                 `json:"recovery"`
+			Store       core.Stats                               `json:"store"`
+			Totals      graphtinker.StreamTotals                 `json:"totals"`
+			WAL         graphtinker.WALRecorderSnapshot          `json:"wal"`
+			Replication *graphtinker.ReplicationRecorderSnapshot `json:"replication,omitempty"`
+		}{label, f.shards, total, elapsed.Seconds(), info, st, totals, snap, rsnap}
 		raw, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fatal("-metrics-out: %v", err)
@@ -472,8 +555,110 @@ func loadDurable(cfg core.Config, batches [][]rmat.Edge, label string, f durable
 		fmt.Printf("metrics written to %s\n", f.metricsOut)
 	}
 
-	if _, err := ds.Close(); err != nil {
+	if rs != nil {
+		if _, err := rs.Close(); err != nil {
+			fatal("close: %v", err)
+		}
+	} else if _, err := ds.Close(); err != nil {
 		fatal("close: %v", err)
+	}
+}
+
+type followFlags struct {
+	dir        string
+	addr       string
+	waitLSN    uint64
+	promote    bool
+	shards     int
+	syncEvery  time.Duration
+	metricsOut string
+}
+
+// runFollower drives the replica path: recover the follower directory,
+// optionally stream from a primary (until -wait-lsn is reached, the
+// stream ends, or the process is interrupted), optionally promote, and
+// report the apply-side telemetry.
+func runFollower(cfg core.Config, f followFlags) {
+	rrec := graphtinker.NewReplicationRecorder()
+	wrec := graphtinker.NewWALRecorder()
+	rf, err := graphtinker.OpenFollower(cfg, f.dir, graphtinker.FollowerHandleOptions{
+		Shards:     f.shards,
+		Durability: graphtinker.DurabilityOptions{SyncInterval: f.syncEvery, Recorder: wrec},
+		Recorder:   rrec,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	info := rf.Recovery()
+	if info.Recovered {
+		fmt.Printf("recovered follower %s: snapshot %d ops + replayed %d ops = LSN %d (epoch %d)\n",
+			f.dir, info.SnapshotOps, info.ReplayedOps, rf.AppliedLSN(), rf.Epoch())
+	} else {
+		fmt.Printf("fresh follower %s (epoch %d)\n", f.dir, rf.Epoch())
+	}
+
+	if f.addr != "" {
+		runErr := make(chan error, 1)
+		go func() { runErr <- rf.Dial(f.addr) }()
+		fmt.Printf("streaming from %s\n", f.addr)
+		if f.waitLSN > 0 {
+			if err := rf.WaitForLSN(f.waitLSN, 0); err != nil {
+				fatal("-wait-lsn %d: %v", f.waitLSN, err)
+			}
+			fmt.Printf("reached LSN barrier %d (applied %d)\n", f.waitLSN, rf.AppliedLSN())
+		} else {
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			select {
+			case err := <-runErr:
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "gtload: stream ended: %v\n", err)
+				}
+			case <-sig:
+			}
+			signal.Stop(sig)
+		}
+	} else if f.waitLSN > rf.AppliedLSN() {
+		fatal("-wait-lsn %d not reached (applied %d) and no -primary-addr to stream from", f.waitLSN, rf.AppliedLSN())
+	}
+
+	ms := rf.MetricsSnapshot()
+	fmt.Printf("applied LSN:         %d (state %s, lag %d ops, epoch %d)\n",
+		ms.AppliedLSN, ms.State, ms.LagOps, ms.Epoch)
+	fmt.Printf("live edges:          %d\n", rf.Store().NumEdges())
+	fmt.Printf("replication:         %d records / %d ops applied, %d snapshots installed, %d duplicate records dropped\n",
+		ms.Replication.RecordsApplied, ms.Replication.OpsApplied,
+		ms.Replication.SnapshotsInstalled, ms.Replication.DuplicateRecords)
+
+	if f.promote {
+		e, err := rf.Promote()
+		if err != nil {
+			fatal("promote: %v", err)
+		}
+		ms.Epoch = e
+		fmt.Printf("promoted %s to epoch %d at LSN %d; reopen with -wal-dir %s -replicate-addr to serve\n",
+			f.dir, e, ms.AppliedLSN, f.dir)
+	}
+
+	if f.metricsOut != "" {
+		doc := struct {
+			Label string `json:"label"`
+			graphtinker.ReplicaMetrics
+			WAL graphtinker.WALRecorderSnapshot `json:"wal"`
+		}{"follower " + f.dir, ms, wrec.Snapshot()}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		if err := os.WriteFile(f.metricsOut, append(raw, '\n'), 0o644); err != nil {
+			fatal("-metrics-out: %v", err)
+		}
+		fmt.Printf("metrics written to %s\n", f.metricsOut)
+	}
+	if !f.promote { // Promote already closed the follower
+		if err := rf.Close(); err != nil {
+			fatal("close: %v", err)
+		}
 	}
 }
 

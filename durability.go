@@ -135,31 +135,30 @@ func installSnapshot(dir, name string, write func(f *os.File) error) (crc uint32
 	return wal.FileCRC(path)
 }
 
-// removeStaleSnapshots deletes every snap-*.gts except keep. Failures are
-// ignored: a stale snapshot is garbage, not a correctness problem (the
-// manifest names the live one).
-func removeStaleSnapshots(dir, keep string) {
+// removeStaleSnapshots deletes every snap-*.gts except keep. A failed
+// remove is not a correctness problem (the manifest names the live
+// snapshot), but silently eating it hides stuck GC — disk filling with
+// dead checkpoints — so failures are counted on the WAL recorder where
+// operators already look.
+func removeStaleSnapshots(dir, keep string, rec *WALRecorder) {
 	matches, _ := filepath.Glob(filepath.Join(dir, "snap-*"+snapSuffix))
 	for _, m := range matches {
-		if filepath.Base(m) != keep {
-			os.Remove(m)
+		if filepath.Base(m) == keep {
+			continue
+		}
+		if err := os.Remove(m); err != nil && !errors.Is(err, os.ErrNotExist) {
+			if rec != nil {
+				rec.SnapshotGCFailures.Inc()
+			}
 		}
 	}
 }
 
 // openSnapshot validates a manifest's snapshot file (size + CRC32-C) and
-// opens it for reading.
+// opens it for reading. Shared with replication followers via
+// wal.OpenManifestSnapshot.
 func openSnapshot(dir string, m wal.Manifest) (*os.File, error) {
-	path := filepath.Join(dir, m.Snapshot)
-	crc, size, err := wal.FileCRC(path)
-	if err != nil {
-		return nil, fmt.Errorf("graphtinker: recover: snapshot %s: %w", m.Snapshot, err)
-	}
-	if size != m.SnapshotBytes || crc != m.SnapshotCRC {
-		return nil, fmt.Errorf("graphtinker: recover: snapshot %s fails validation: got %d bytes crc %08x, manifest says %d bytes crc %08x",
-			m.Snapshot, size, crc, m.SnapshotBytes, m.SnapshotCRC)
-	}
-	f, err := os.Open(path)
+	f, err := wal.OpenManifestSnapshot(dir, m)
 	if err != nil {
 		return nil, fmt.Errorf("graphtinker: recover: %w", err)
 	}
@@ -197,7 +196,8 @@ type DurableStream struct {
 	ckptMu    sync.RWMutex
 	sinceCkpt atomic.Uint64
 	lastCkpt  uint64
-	ckptErr   error // outcome of the most recent checkpoint attempt
+	epoch     uint64 // replication term from the manifest; preserved by checkpoints
+	ckptErr   error  // outcome of the most recent checkpoint attempt
 	closed    bool
 }
 
@@ -223,7 +223,8 @@ func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*Dura
 	}
 	var store *Parallel
 	var info RecoveryInfo
-	if haveManifest {
+	switch {
+	case haveManifest && m.Snapshot != "":
 		f, err := openSnapshot(dir, m)
 		if err != nil {
 			return nil, err
@@ -234,7 +235,19 @@ func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*Dura
 			return nil, fmt.Errorf("graphtinker: recover: %w", err)
 		}
 		info = RecoveryInfo{Recovered: true, SnapshotOps: m.LastLSN}
-	} else {
+	case haveManifest:
+		// A manifest without a snapshot: an epoch-only manifest from a
+		// promoted follower (or an adopted term) that never checkpointed.
+		// All state lives in the WAL.
+		shards := m.Shards
+		if shards <= 0 {
+			shards = opts.Shards
+		}
+		store, err = NewParallel(cfg, shards)
+		if err != nil {
+			return nil, err
+		}
+	default:
 		store, err = NewParallel(cfg, opts.Shards)
 		if err != nil {
 			return nil, err
@@ -245,17 +258,21 @@ func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*Dura
 		SegmentBytes: opts.Durability.SegmentBytes,
 		SyncInterval: opts.Durability.SyncInterval,
 		Recorder:     opts.Durability.Recorder,
+		InitialLSN:   m.LastLSN,
 	})
 	if err != nil {
+		store.Close()
 		return nil, err
 	}
 	if next := log.NextLSN(); next < m.LastLSN {
 		_ = log.Close() // abandoning open; the recovery error below is the signal
+		store.Close()
 		return nil, fmt.Errorf("graphtinker: recover: wal ends at LSN %d but manifest snapshot covers %d (log lost behind checkpoint)", next, m.LastLSN)
 	}
 	replayed, err := replayInto(walDir(dir), m.LastLSN, opts.Durability.Recorder, store)
 	if err != nil {
 		_ = log.Close()
+		store.Close()
 		return nil, err
 	}
 	info.ReplayedOps = replayed
@@ -268,6 +285,7 @@ func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*Dura
 	pipe, err := NewStreamPipeline(store, popts)
 	if err != nil {
 		_ = log.Close()
+		store.Close()
 		return nil, err
 	}
 	return &DurableStream{
@@ -277,6 +295,7 @@ func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*Dura
 		pipe:     pipe,
 		opts:     opts,
 		info:     info,
+		epoch:    m.Epoch,
 		lastCkpt: m.LastLSN,
 	}, nil
 }
@@ -317,6 +336,10 @@ func (d *DurableStream) Store() *Parallel { return d.store }
 // NextLSN is the durable stream position: the number of ops the WAL has
 // accepted so far.
 func (d *DurableStream) NextLSN() uint64 { return d.log.NextLSN() }
+
+// Epoch is the stream's replication term, from the manifest that
+// recovered it (0 for a directory that was never part of a promotion).
+func (d *DurableStream) Epoch() uint64 { return d.epoch }
 
 // Totals snapshots the pipeline's lifetime counters.
 func (d *DurableStream) Totals() StreamTotals { return d.pipe.Totals() }
@@ -399,13 +422,14 @@ func (d *DurableStream) checkpointAtLocked(lsn uint64) error {
 		SnapshotCRC:   crc,
 		SnapshotBytes: size,
 		Shards:        d.store.NumShards(),
+		Epoch:         d.epoch,
 	}); err != nil {
 		return err
 	}
 	if _, err := d.log.Prune(lsn); err != nil && !errors.Is(err, wal.ErrClosed) {
 		return err
 	}
-	removeStaleSnapshots(d.dir, name)
+	removeStaleSnapshots(d.dir, name, d.opts.Durability.Recorder)
 	d.lastCkpt = lsn
 	d.sinceCkpt.Store(0)
 	return nil

@@ -1,0 +1,167 @@
+package graphtinker_test
+
+// Regression tests for durability-layer edge cases: stuck snapshot GC
+// must be visible to operators, and Crash racing an in-flight Checkpoint
+// must leave the directory recoverable with no leaked handles or temp
+// files.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	graphtinker "graphtinker"
+	"graphtinker/internal/faultinject"
+)
+
+// TestSnapshotGCFailureCounted pins the removeStaleSnapshots fix: a
+// snapshot entry that cannot be removed (here: a directory matching the
+// snap-*.gts glob with a child in it) must not fail the checkpoint, but
+// must be counted on the WAL recorder so stuck GC is observable.
+func TestSnapshotGCFailureCounted(t *testing.T) {
+	dir := t.TempDir()
+	rec := graphtinker.NewWALRecorder()
+	opts := graphtinker.DurableStreamOptions{
+		Shards:     2,
+		Pipeline:   graphtinker.StreamPipelineOptions{MaxBatch: 256, FlushInterval: -1},
+		Durability: graphtinker.DurabilityOptions{SyncInterval: -1, Recorder: rec},
+	}
+	ds, err := graphtinker.OpenDurableStream(graphtinker.DefaultConfig(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Crash()
+
+	// An undeletable stale "snapshot": os.Remove fails on a non-empty
+	// directory, which is exactly how a permissions/filesystem wedge
+	// presents to GC.
+	stuck := filepath.Join(dir, "snap-00000000deadbeef.gts")
+	if err := os.MkdirAll(filepath.Join(stuck, "pin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.PushBatch(genStream(500, 61)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint must survive a stuck GC entry: %v", err)
+	}
+	if got := rec.Snapshot().SnapshotGCFailures; got != 1 {
+		t.Fatalf("SnapshotGCFailures = %d, want 1", got)
+	}
+	// A second checkpoint counts it again — the wedge is still there.
+	if err := ds.PushBatch(genStream(100, 62)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Snapshot().SnapshotGCFailures; got != 2 {
+		t.Fatalf("SnapshotGCFailures after second checkpoint = %d, want 2", got)
+	}
+	// Deletable stale snapshots still disappear alongside the stuck one.
+	matches, _ := filepath.Glob(filepath.Join(dir, "snap-*.gts"))
+	var files int
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil && !fi.IsDir() {
+			files++
+		}
+	}
+	if files != 1 {
+		t.Fatalf("want exactly the live snapshot on disk, got %d files", files)
+	}
+}
+
+// TestCrashRacesCheckpoint pins the Crash-vs-Checkpoint contract: however
+// the race lands, both calls return, nothing panics or deadlocks, no
+// checkpoint temp files leak, double-Crash is idempotent, and the
+// directory reopens to an exact prefix of the submitted stream.
+func TestCrashRacesCheckpoint(t *testing.T) {
+	ops := genStream(6000, 63)
+	for round := 0; round < 6; round++ {
+		dir := t.TempDir()
+		opts := graphtinker.DurableStreamOptions{
+			Shards:     2,
+			Pipeline:   graphtinker.StreamPipelineOptions{MaxBatch: 256, FlushInterval: -1},
+			Durability: graphtinker.DurabilityOptions{SyncInterval: -1, SegmentBytes: 1 << 15},
+		}
+		ds, err := graphtinker.OpenDurableStream(graphtinker.DefaultConfig(), dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.PushBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+		// Widen the race window: the checkpoint's barrier fsync stalls
+		// inside the critical section while Crash contends for it.
+		if err := faultinject.Set("wal/fsync", "delay(30ms)*1"); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var ckptErr error
+		go func() {
+			defer wg.Done()
+			ckptErr = ds.Checkpoint()
+		}()
+		go func() {
+			defer wg.Done()
+			ds.Crash()
+		}()
+		wg.Wait()
+		faultinject.Reset()
+		if ckptErr != nil && !errors.Is(ckptErr, graphtinker.ErrStreamClosed) {
+			t.Fatalf("round %d: Checkpoint = %v, want nil or ErrStreamClosed", round, ckptErr)
+		}
+		ds.Crash() // idempotent double-Crash
+		if _, err := ds.Close(); !errors.Is(err, graphtinker.ErrStreamClosed) {
+			t.Fatalf("round %d: Close after Crash = %v, want ErrStreamClosed", round, err)
+		}
+
+		// No checkpoint temp files may survive the race.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".snap-") || strings.HasPrefix(e.Name(), ".manifest-") {
+				t.Fatalf("round %d: leaked temp file %s", round, e.Name())
+			}
+		}
+
+		// The directory must recover to an exact prefix of the stream.
+		re, err := graphtinker.OpenDurableStream(graphtinker.DefaultConfig(), dir, opts)
+		if err != nil {
+			t.Fatalf("round %d: reopen after race: %v", round, err)
+		}
+		n := re.NextLSN()
+		if n > uint64(len(ops)) {
+			t.Fatalf("round %d: recovered LSN %d beyond stream end %d", round, n, len(ops))
+		}
+		info := re.Recovery()
+		if info.SnapshotOps+info.ReplayedOps != n {
+			t.Fatalf("round %d: LSN accounting: snapshot %d + replayed %d != %d",
+				round, info.SnapshotOps, info.ReplayedOps, n)
+		}
+		checkStoreAgainst(t, re, ops[:n])
+		re.Crash()
+	}
+}
+
+// checkStoreAgainst asserts the stream's store matches the oracle over
+// exactly the given prefix.
+func checkStoreAgainst(t *testing.T, ds *graphtinker.DurableStream, prefix []graphtinker.Update) {
+	t.Helper()
+	ref := oracleOver(prefix)
+	store := ds.Store()
+	if got, want := store.NumEdges(), ref.NumEdges(); got != want {
+		t.Fatalf("recovered store has %d edges, oracle %d", got, want)
+	}
+	for _, e := range ref.Edges() {
+		if w, ok := store.FindEdge(e.Src, e.Dst); !ok || w != e.Weight {
+			t.Fatalf("edge (%d,%d): store (%v,%v), oracle (%v,true)", e.Src, e.Dst, w, ok, e.Weight)
+		}
+	}
+}

@@ -9,9 +9,11 @@ package analysis
 // greppable acknowledgment and passes.
 //
 // Targets: *os.File, *bufio.Writer, and Close/Sync/Flush methods on
-// types declared in the module root, internal/wal, or internal/ingest —
-// the packages that own durable state. Test files are exempt (t.Cleanup
-// noise outweighs the risk there).
+// types declared in the module root, internal/wal, internal/ingest, or
+// internal/replication — the packages that own durable state (for
+// replication: a dropped transport Close/Flush error hides a follower
+// that silently stopped acking). Test files are exempt (t.Cleanup noise
+// outweighs the risk there).
 
 import (
 	"go/ast"
@@ -90,7 +92,7 @@ func returnsError(sig *types.Signature) bool {
 
 // durabilityReceiver reports whether the method lives on a type that owns
 // durable state: os.File, bufio.Writer, or anything declared in the
-// module root, internal/wal, or internal/ingest.
+// module root, internal/wal, internal/ingest, or internal/replication.
 func durabilityReceiver(pass *Pass, fn *types.Func) bool {
 	pkg := fn.Pkg()
 	if pkg == nil {
@@ -109,5 +111,6 @@ func durabilityReceiver(pass *Pass, fn *types.Func) bool {
 	p := pkg.Path()
 	return p == mod ||
 		p == mod+"/internal/wal" ||
-		p == mod+"/internal/ingest"
+		p == mod+"/internal/ingest" ||
+		p == mod+"/internal/replication"
 }

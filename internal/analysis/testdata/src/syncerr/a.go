@@ -5,6 +5,7 @@ import (
 	"bufio"
 	"os"
 
+	"syncerrfix/internal/replication"
 	"syncerrfix/internal/wal"
 )
 
@@ -26,6 +27,11 @@ func BadLog(l *wal.Log) {
 	defer l.Close() // want:syncerr "discards its error"
 }
 
+func BadConn(c *replication.Conn) {
+	c.Flush()       // want:syncerr "discards its error"
+	defer c.Close() // want:syncerr "discards its error"
+}
+
 // Explicit discards and checked errors both pass.
 func Good(f *os.File, l *wal.Log) error {
 	_ = f.Sync()
@@ -34,4 +40,12 @@ func Good(f *os.File, l *wal.Log) error {
 		return err
 	}
 	return l.Close()
+}
+
+func GoodConn(c *replication.Conn) error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	_ = c.Close()
+	return nil
 }

@@ -1,0 +1,10 @@
+// Stub replication transport; syncerr flags discarded Close/Flush errors
+// here too — a dropped transport error hides a follower that silently
+// stopped acking.
+package replication
+
+type Conn struct{}
+
+func (c *Conn) Close() error { return nil }
+
+func (c *Conn) Flush() error { return nil }

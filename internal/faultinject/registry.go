@@ -13,11 +13,16 @@ package faultinject
 // registry maps failpoint name -> the site that defines it (the package
 // containing its Inject call). Keep it sorted.
 var registry = map[string]string{
-	"ingest/apply":       "internal/ingest", // shard-apply failure/panic before an edge lands
-	"wal/append":         "internal/wal",    // record write error before bytes reach the buffer
-	"wal/append-partial": "internal/wal",    // torn write: truncated record hits the segment
-	"wal/fsync":          "internal/wal",    // fsync failure during group commit
-	"wal/rotate":         "internal/wal",    // segment rotation failure mid-roll
+	"ingest/apply":       "internal/ingest",      // shard-apply failure/panic before an edge lands
+	"repl/apply":         "internal/replication", // follower dies between WAL append and store apply
+	"repl/frame-recv":    "internal/replication", // transport receive failure mid-frame
+	"repl/frame-send":    "internal/replication", // transport send failure mid-frame
+	"repl/promote":       "internal/replication", // crash before the promotion manifest persists
+	"repl/snapshot":      "internal/replication", // follower dies mid-snapshot bootstrap install
+	"wal/append":         "internal/wal",         // record write error before bytes reach the buffer
+	"wal/append-partial": "internal/wal",         // torn write: truncated record hits the segment
+	"wal/fsync":          "internal/wal",         // fsync failure during group commit
+	"wal/rotate":         "internal/wal",         // segment rotation failure mid-roll
 }
 
 // Registered reports whether name is a known failpoint.

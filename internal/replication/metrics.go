@@ -1,0 +1,77 @@
+package replication
+
+import "graphtinker/internal/metrics"
+
+// Recorder bundles the replication observability instruments on the
+// race-clean internal/metrics layer. One recorder can serve both roles:
+// the ship-side counters move on a primary, the apply-side counters on a
+// follower. A nil *Recorder is a valid no-op sink.
+type Recorder struct {
+	// FramesSent / FramesRecv / BytesShipped count transport traffic
+	// (payload bytes, headers excluded).
+	FramesSent   metrics.Counter
+	FramesRecv   metrics.Counter
+	BytesShipped metrics.Counter
+	// RecordsShipped / OpsShipped count WAL records a primary streamed.
+	RecordsShipped metrics.Counter
+	OpsShipped     metrics.Counter
+	// SnapshotsSent / SnapshotsInstalled count snapshot bootstraps on each
+	// side.
+	SnapshotsSent      metrics.Counter
+	SnapshotsInstalled metrics.Counter
+	// RecordsApplied / OpsApplied count records a follower logged and
+	// applied; DuplicateRecords counts re-delivered records skipped by the
+	// continuity check (a crashed-and-reconnected primary resends from the
+	// follower's acked position, so a few are normal after recovery).
+	RecordsApplied   metrics.Counter
+	OpsApplied       metrics.Counter
+	DuplicateRecords metrics.Counter
+	// StaleEpochRejects counts connections refused by the epoch fence —
+	// a deposed primary knocking is worth an operator's attention.
+	StaleEpochRejects metrics.Counter
+	// LagOps gauges the follower's apply lag in ops: the primary's durable
+	// frontier minus the follower's applied LSN, as of the last frame.
+	LagOps metrics.Gauge
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// RecorderSnapshot is the JSON form of a Recorder — the "replication"
+// section of cmd/gtload's -metrics-out document.
+type RecorderSnapshot struct {
+	FramesSent         uint64 `json:"frames_sent"`
+	FramesRecv         uint64 `json:"frames_recv"`
+	BytesShipped       uint64 `json:"bytes_shipped"`
+	RecordsShipped     uint64 `json:"records_shipped"`
+	OpsShipped         uint64 `json:"ops_shipped"`
+	SnapshotsSent      uint64 `json:"snapshots_sent"`
+	SnapshotsInstalled uint64 `json:"snapshots_installed"`
+	RecordsApplied     uint64 `json:"records_applied"`
+	OpsApplied         uint64 `json:"ops_applied"`
+	DuplicateRecords   uint64 `json:"duplicate_records"`
+	StaleEpochRejects  uint64 `json:"stale_epoch_rejects"`
+	LagOps             int64  `json:"lag_ops"`
+}
+
+// Snapshot copies the recorder's state; a nil recorder yields a zero
+// snapshot.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	if r == nil {
+		return RecorderSnapshot{}
+	}
+	return RecorderSnapshot{
+		FramesSent:         r.FramesSent.Load(),
+		FramesRecv:         r.FramesRecv.Load(),
+		BytesShipped:       r.BytesShipped.Load(),
+		RecordsShipped:     r.RecordsShipped.Load(),
+		OpsShipped:         r.OpsShipped.Load(),
+		SnapshotsSent:      r.SnapshotsSent.Load(),
+		SnapshotsInstalled: r.SnapshotsInstalled.Load(),
+		RecordsApplied:     r.RecordsApplied.Load(),
+		OpsApplied:         r.OpsApplied.Load(),
+		DuplicateRecords:   r.DuplicateRecords.Load(),
+		StaleEpochRejects:  r.StaleEpochRejects.Load(),
+		LagOps:             r.LagOps.Load(),
+	}
+}

@@ -28,6 +28,14 @@ type Manifest struct {
 	SnapshotBytes int64  `json:"snapshot_bytes"`
 	// Shards records the sharded store's width (1 for a session graph).
 	Shards int `json:"shards"`
+	// Epoch is the replication term counter: it starts at 0 for a fresh
+	// primary and is bumped (and persisted here, before any write is
+	// accepted) when a follower is promoted. A node refuses replication
+	// streams from a primary whose epoch is below its own — the fencing
+	// that keeps a deposed primary from resurrecting overwritten history.
+	// Checkpoints preserve it; manifests written before replication
+	// existed decode as epoch 0.
+	Epoch uint64 `json:"epoch"`
 }
 
 // WriteManifest atomically installs m as dir's manifest.
@@ -75,6 +83,27 @@ func LoadManifest(dir string) (m Manifest, ok bool, err error) {
 		return Manifest{}, false, fmt.Errorf("wal: manifest: %w", err)
 	}
 	return m, true, nil
+}
+
+// OpenManifestSnapshot validates a manifest's snapshot file (size +
+// CRC32-C against the recorded pair) and opens it for reading — the
+// shared recovery entry point for durable streams, sessions, and
+// replication followers.
+func OpenManifestSnapshot(dir string, m Manifest) (*os.File, error) {
+	path := filepath.Join(dir, m.Snapshot)
+	crc, size, err := FileCRC(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", m.Snapshot, err)
+	}
+	if size != m.SnapshotBytes || crc != m.SnapshotCRC {
+		return nil, fmt.Errorf("wal: snapshot %s fails validation: got %d bytes crc %08x, manifest says %d bytes crc %08x",
+			m.Snapshot, size, crc, m.SnapshotBytes, m.SnapshotCRC)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	return f, nil
 }
 
 // FileCRC computes the CRC32-C and size of a file — the snapshot

@@ -27,6 +27,9 @@ type Recorder struct {
 	// TruncatedBytes counts bytes discarded by torn-tail truncation on
 	// Open.
 	TruncatedBytes metrics.Counter
+	// SnapshotGCFailures counts stale-snapshot files a checkpoint failed
+	// to remove — stuck snapshot GC an operator should investigate.
+	SnapshotGCFailures metrics.Counter
 }
 
 // NewRecorder builds a recorder with the default bounds.
@@ -37,17 +40,18 @@ func NewRecorder() *Recorder {
 // RecorderSnapshot is the JSON form of a Recorder — the "wal" section of
 // cmd/gtload's -metrics-out document.
 type RecorderSnapshot struct {
-	FsyncLatencyNs  metrics.HistogramSnapshot `json:"fsync_latency_ns"`
-	Fsyncs          uint64                    `json:"fsyncs"`
-	AppendedRecords uint64                    `json:"appended_records"`
-	AppendedOps     uint64                    `json:"appended_ops"`
-	AppendedBytes   uint64                    `json:"appended_bytes"`
-	SegmentBytes    int64                     `json:"segment_bytes"`
-	SegmentsCreated uint64                    `json:"segments_created"`
-	SegmentsPruned  uint64                    `json:"segments_pruned"`
-	ReplayedRecords uint64                    `json:"replayed_records"`
-	ReplayedOps     uint64                    `json:"replayed_ops"`
-	TruncatedBytes  uint64                    `json:"truncated_bytes"`
+	FsyncLatencyNs     metrics.HistogramSnapshot `json:"fsync_latency_ns"`
+	Fsyncs             uint64                    `json:"fsyncs"`
+	AppendedRecords    uint64                    `json:"appended_records"`
+	AppendedOps        uint64                    `json:"appended_ops"`
+	AppendedBytes      uint64                    `json:"appended_bytes"`
+	SegmentBytes       int64                     `json:"segment_bytes"`
+	SegmentsCreated    uint64                    `json:"segments_created"`
+	SegmentsPruned     uint64                    `json:"segments_pruned"`
+	ReplayedRecords    uint64                    `json:"replayed_records"`
+	ReplayedOps        uint64                    `json:"replayed_ops"`
+	TruncatedBytes     uint64                    `json:"truncated_bytes"`
+	SnapshotGCFailures uint64                    `json:"snapshot_gc_failures"`
 }
 
 // Snapshot copies the recorder's state; a nil recorder yields a zero
@@ -57,16 +61,17 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 		return RecorderSnapshot{}
 	}
 	return RecorderSnapshot{
-		FsyncLatencyNs:  r.FsyncLatency.Snapshot(),
-		Fsyncs:          r.Fsyncs.Load(),
-		AppendedRecords: r.AppendedRecords.Load(),
-		AppendedOps:     r.AppendedOps.Load(),
-		AppendedBytes:   r.AppendedBytes.Load(),
-		SegmentBytes:    r.SegmentBytes.Load(),
-		SegmentsCreated: r.SegmentsCreated.Load(),
-		SegmentsPruned:  r.SegmentsPruned.Load(),
-		ReplayedRecords: r.ReplayedRecords.Load(),
-		ReplayedOps:     r.ReplayedOps.Load(),
-		TruncatedBytes:  r.TruncatedBytes.Load(),
+		FsyncLatencyNs:     r.FsyncLatency.Snapshot(),
+		Fsyncs:             r.Fsyncs.Load(),
+		AppendedRecords:    r.AppendedRecords.Load(),
+		AppendedOps:        r.AppendedOps.Load(),
+		AppendedBytes:      r.AppendedBytes.Load(),
+		SegmentBytes:       r.SegmentBytes.Load(),
+		SegmentsCreated:    r.SegmentsCreated.Load(),
+		SegmentsPruned:     r.SegmentsPruned.Load(),
+		ReplayedRecords:    r.ReplayedRecords.Load(),
+		ReplayedOps:        r.ReplayedOps.Load(),
+		TruncatedBytes:     r.TruncatedBytes.Load(),
+		SnapshotGCFailures: r.SnapshotGCFailures.Load(),
 	}
 }

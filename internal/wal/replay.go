@@ -100,6 +100,19 @@ func scanSegment(path string, wantFirstLSN uint64, fn func(firstLSN uint64, ops 
 	}
 }
 
+// EncodeOps serialises a batch of ops into the WAL record payload format
+// (first LSN + count + fixed-width ops). Replication reuses it as the
+// wire form for shipped records, so followers decode with the same code
+// that validates their own log.
+func EncodeOps(firstLSN uint64, ops []core.EdgeOp) []byte {
+	return encodePayload(firstLSN, ops)
+}
+
+// DecodeOps parses a payload produced by EncodeOps.
+func DecodeOps(payload []byte) (firstLSN uint64, ops []core.EdgeOp, err error) {
+	return decodePayload(payload)
+}
+
 // decodePayload parses a record payload back into its first LSN and ops.
 func decodePayload(payload []byte) (uint64, []core.EdgeOp, error) {
 	le := binary.LittleEndian

@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphtinker/internal/core"
@@ -90,6 +91,12 @@ type Options struct {
 	// > 0 runs a background flusher at that period, < 0 syncs only on
 	// explicit Sync/Close.
 	SyncInterval time.Duration
+	// InitialLSN positions an empty log's first segment at this LSN — a
+	// replication follower bootstrapping from a snapshot at LSN n starts
+	// its log at n, keeping the manifest↔log continuity invariant without
+	// holding the [0, n) prefix. Ignored when the directory already holds
+	// segments.
+	InitialLSN uint64
 	// Recorder, when non-nil, receives fsync-latency/segment-byte/replay
 	// telemetry.
 	Recorder *Recorder
@@ -119,6 +126,20 @@ type Log struct {
 	closed   bool
 	failed   bool // a write may have landed partially; appends refused
 
+	// durable is the LSN after the last op covered by a successful
+	// flush+fsync — the position tailers may read up to. It always sits on
+	// a record boundary (syncs cover whole records). Written under mu,
+	// read lock-free by tailers.
+	durable atomic.Uint64
+	// tailNotify is closed and replaced (under mu) whenever durable
+	// advances or the log closes, waking blocked tailers.
+	tailNotify chan struct{}
+	// readers maps registered reader ids to their low-water LSN: Prune
+	// never removes a segment holding records at or above any mark, so a
+	// tailer's unread tail cannot be deleted out from under it.
+	readers   map[uint64]uint64
+	readerSeq uint64
+
 	stop, done chan struct{} // background flusher lifecycle (nil when none)
 }
 
@@ -134,7 +155,13 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, rec: opts.Recorder}
+	l := &Log{
+		dir:        dir,
+		opts:       opts,
+		rec:        opts.Recorder,
+		tailNotify: make(chan struct{}),
+		readers:    make(map[uint64]uint64),
+	}
 
 	// Validate every segment; only the last may have a torn tail. Segments
 	// must also be LSN-contiguous — each one starts exactly where the
@@ -189,9 +216,10 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 
 	if len(segs) == 0 {
-		if err := l.openSegmentLocked(0); err != nil {
+		if err := l.openSegmentLocked(opts.InitialLSN); err != nil {
 			return nil, err
 		}
+		l.nextLSN = opts.InitialLSN
 	} else if !recreated {
 		last := segs[len(segs)-1]
 		f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
@@ -205,6 +233,10 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.f = f
 		l.bw = bufio.NewWriterSize(f, 1<<16)
 	}
+
+	// Everything recovered from disk already survived at least one process
+	// lifetime; tailers may ship it immediately.
+	l.durable.Store(l.nextLSN)
 
 	if opts.SyncInterval > 0 {
 		l.stop = make(chan struct{})
@@ -375,6 +407,7 @@ func (l *Log) syncLocked() error {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
 	if !l.dirty {
+		l.advanceDurableLocked()
 		return nil
 	}
 	start := time.Now()
@@ -386,8 +419,25 @@ func (l *Log) syncLocked() error {
 		l.rec.FsyncLatency.ObserveDuration(time.Since(start))
 		l.rec.Fsyncs.Inc()
 	}
+	l.advanceDurableLocked()
 	return nil
 }
+
+// advanceDurableLocked publishes the current append position as durable
+// and wakes blocked tailers. Caller holds l.mu after a successful
+// flush+fsync (or when nothing was pending).
+func (l *Log) advanceDurableLocked() {
+	if l.durable.Load() == l.nextLSN {
+		return
+	}
+	l.durable.Store(l.nextLSN)
+	close(l.tailNotify)
+	l.tailNotify = make(chan struct{})
+}
+
+// DurableLSN returns the LSN after the last fsynced op — the position a
+// tailer may stream up to. Lock-free.
+func (l *Log) DurableLSN() uint64 { return l.durable.Load() }
 
 func (l *Log) runFlusher() {
 	defer close(l.done)
@@ -422,6 +472,8 @@ func (l *Log) Close() error {
 	//gtlint:ignore lockhold shutdown: the final fsync must exclude appends, and closed=true bounds the wait to one barrier
 	err := l.syncLocked()
 	cerr := l.f.Close()
+	close(l.tailNotify) // wake tailers so they observe closed
+	l.tailNotify = make(chan struct{})
 	l.mu.Unlock()
 	if l.stop != nil {
 		close(l.stop)
@@ -441,7 +493,9 @@ func (l *Log) Crash() {
 	l.mu.Lock()
 	if !l.closed {
 		l.closed = true
-		_ = l.f.Close() // deliberately without flushing l.bw; errors are part of the crash
+		_ = l.f.Close()     // deliberately without flushing l.bw; errors are part of the crash
+		close(l.tailNotify) // wake tailers so they observe the crash
+		l.tailNotify = make(chan struct{})
 	}
 	l.mu.Unlock()
 	if l.stop != nil {
@@ -452,12 +506,19 @@ func (l *Log) Crash() {
 
 // Prune removes segments every record of which is below uptoLSN — called
 // after a checkpoint at uptoLSN makes the prefix redundant. The segment
-// containing uptoLSN (and everything after) is kept.
+// containing uptoLSN (and everything after) is kept, as is any segment
+// holding records at or above a registered reader's low-water mark: a
+// replication tailer mid-catch-up pins its unread tail in place.
 func (l *Log) Prune(uptoLSN uint64) (removed int, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	for _, mark := range l.readers {
+		if mark < uptoLSN {
+			uptoLSN = mark
+		}
 	}
 	segs, err := listSegments(l.dir)
 	if err != nil {

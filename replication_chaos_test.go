@@ -1,0 +1,448 @@
+package graphtinker_test
+
+// Chaos suite for WAL-shipping replication: kill the follower at every
+// registered repl/* failpoint, recover its directory, and require an
+// exact oracle prefix with zero duplicate applies; then exercise
+// promotion kills and the epoch fence. Companion to durability_test.go's
+// kill-at-every-failpoint suite, one layer up.
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	graphtinker "graphtinker"
+	"graphtinker/internal/faultinject"
+	"graphtinker/internal/testutil"
+)
+
+// errFollowerKilled marks a follower stream goroutine that died to an
+// injected panic — the chaos suite's stand-in for a hard process kill.
+var errFollowerKilled = errors.New("follower killed by injected panic")
+
+func openChaosPrimary(t *testing.T, dir string, rec *graphtinker.ReplicationRecorder) *graphtinker.ReplicatedStream {
+	t.Helper()
+	p, err := graphtinker.OpenReplicatedStream(graphtinker.DefaultConfig(), dir, graphtinker.ReplicatedStreamOptions{
+		Stream: graphtinker.DurableStreamOptions{
+			Shards:     2,
+			Pipeline:   graphtinker.StreamPipelineOptions{MaxBatch: 256, FlushInterval: -1},
+			Durability: graphtinker.DurabilityOptions{SyncInterval: -1, SegmentBytes: 1 << 14},
+		},
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// openChaosFollower opens a follower with sync-every-append so that
+// everything it applied is durable — Crash() then models losing only
+// in-flight state, exactly like killing a conservative replica process.
+func openChaosFollower(t *testing.T, dir string, rec *graphtinker.ReplicationRecorder) *graphtinker.ReplicaFollower {
+	t.Helper()
+	f, err := graphtinker.OpenFollower(graphtinker.DefaultConfig(), dir, graphtinker.FollowerHandleOptions{
+		Shards:     4,
+		Durability: graphtinker.DurabilityOptions{SyncInterval: 0, SegmentBytes: 1 << 14},
+		Recorder:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// connectChaos wires follower to primary over an in-process pipe and
+// returns the follower stream's exit channel. An injected panic inside
+// the stream is contained and surfaces as errFollowerKilled.
+func connectChaos(p *graphtinker.ReplicatedStream, f *graphtinker.ReplicaFollower) <-chan error {
+	pc, fc := net.Pipe()
+	go func() { _ = p.HandleConn(pc) }() // exits when either side drops; the follower error is the signal
+	errc := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(faultinject.PanicValue); !ok {
+					panic(r)
+				}
+				errc <- errFollowerKilled
+			}
+		}()
+		errc <- f.Run(fc)
+	}()
+	return errc
+}
+
+// pushAcked pushes ops and flushes to the durable frontier, returning the
+// acked LSN: every op below it must survive any follower recovery that
+// reached it.
+func pushAcked(t *testing.T, p *graphtinker.ReplicatedStream, ops []graphtinker.Update) uint64 {
+	t.Helper()
+	if err := p.PushBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return p.NextLSN()
+}
+
+func waitFollower(t *testing.T, f *graphtinker.ReplicaFollower, lsn uint64) {
+	t.Helper()
+	if err := f.WaitForLSN(lsn, 10*time.Second); err != nil {
+		t.Fatalf("WaitForLSN(%d): %v", lsn, err)
+	}
+}
+
+// TestReplicationKillAtEveryFailpoint is the acceptance gate: for every
+// registered replication failpoint, killing the follower there and
+// reopening its directory yields an exact oracle prefix of the primary's
+// stream with zero duplicate applies, and a reconnect heals it to the
+// full stream.
+func TestReplicationKillAtEveryFailpoint(t *testing.T) {
+	ops := genStream(6000, 71)
+	cases := []struct {
+		name, fp, spec string
+		bootstrap      bool
+	}{
+		{"frame-send-early", "repl/frame-send", "error*1@2", false},
+		{"frame-send-late", "repl/frame-send", "error*1@9", false},
+		{"frame-recv-early", "repl/frame-recv", "error*1@1", false},
+		{"frame-recv-late", "repl/frame-recv", "error*1@8", false},
+		{"apply-first", "repl/apply", "error*1", false},
+		{"apply-mid", "repl/apply", "error*1@5", false},
+		{"apply-kill", "repl/apply", "panic*1@3", false},
+		{"snapshot-error", "repl/snapshot", "error*1", true},
+		{"snapshot-kill", "repl/snapshot", "panic*1", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			faultinject.Reset()
+			t.Cleanup(faultinject.Reset)
+			pdir, fdir := t.TempDir(), t.TempDir()
+			prim := openChaosPrimary(t, pdir, nil)
+			defer prim.Crash()
+
+			// The bootstrap cases force a snapshot handoff: checkpoint +
+			// prune before the follower ever connects, so LSN 0 is gone
+			// from the primary's log.
+			stream := ops
+			var acked uint64
+			var errc <-chan error
+			rec := graphtinker.NewReplicationRecorder()
+			var f *graphtinker.ReplicaFollower
+			if tc.bootstrap {
+				stream = ops[:4000]
+				pushAcked(t, prim, stream[:2500])
+				if err := prim.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				acked = 0 // the follower dies before applying anything
+				pushAcked(t, prim, stream[2500:])
+				if err := faultinject.Set(tc.fp, tc.spec); err != nil {
+					t.Fatal(err)
+				}
+				f = openChaosFollower(t, fdir, rec)
+				errc = connectChaos(prim, f)
+			} else {
+				acked = pushAcked(t, prim, stream[:2000])
+				f = openChaosFollower(t, fdir, rec)
+				errc = connectChaos(prim, f)
+				waitFollower(t, f, acked)
+				if err := faultinject.Set(tc.fp, tc.spec); err != nil {
+					t.Fatal(err)
+				}
+				// Small acked chunks keep frames flowing so skip-count
+				// specs reach deep into the live stream.
+				for i := 2000; i < len(stream); i += 250 {
+					end := i + 250
+					if end > len(stream) {
+						end = len(stream)
+					}
+					pushAcked(t, prim, stream[i:end])
+				}
+			}
+			total := uint64(len(stream))
+
+			select {
+			case err := <-errc:
+				if err == nil {
+					t.Fatal("follower stream ended cleanly with a failpoint armed")
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("follower did not die at %s within 10s", tc.fp)
+			}
+			if faultinject.Fired(tc.fp) == 0 {
+				t.Fatalf("failpoint %s never fired", tc.fp)
+			}
+			f.Crash()
+			faultinject.Reset()
+
+			// Recovery: exact prefix, zero duplicate applies (the LSN
+			// accounting identity), no torn bootstrap leftovers.
+			rec2 := graphtinker.NewReplicationRecorder()
+			f2 := openChaosFollower(t, fdir, rec2)
+			applied := f2.AppliedLSN()
+			if tc.bootstrap {
+				if applied != 0 {
+					t.Fatalf("killed mid-bootstrap but recovered to LSN %d, want 0", applied)
+				}
+				if stale, _ := filepath.Glob(filepath.Join(fdir, ".bootstrap-*")); len(stale) != 0 {
+					t.Fatalf("bootstrap temp files survived recovery: %v", stale)
+				}
+			} else if applied < acked || applied > total {
+				t.Fatalf("recovered LSN %d outside acked window [%d, %d]", applied, acked, total)
+			}
+			info := f2.Recovery()
+			if info.SnapshotOps+info.ReplayedOps != applied {
+				t.Fatalf("duplicate applies: snapshot %d + replayed %d != applied %d",
+					info.SnapshotOps, info.ReplayedOps, applied)
+			}
+			testutil.CheckAgainstRef(t, f2.Store(), oracleOver(stream[:applied]))
+
+			// Heal: reconnect and require exact convergence on the full
+			// stream with no duplicate records on the wire.
+			errc2 := connectChaos(prim, f2)
+			waitFollower(t, f2, total)
+			testutil.CheckAgainstRef(t, f2.Store(), oracleOver(stream))
+			if d := rec2.Snapshot().DuplicateRecords; d != 0 {
+				t.Fatalf("resume shipped %d duplicate records", d)
+			}
+			if tc.bootstrap {
+				if got := rec2.Snapshot().SnapshotsInstalled; got != 1 {
+					t.Fatalf("healed follower installed %d snapshots, want 1", got)
+				}
+			}
+			if err := f2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-errc2; err != nil {
+				t.Fatalf("Run after Close = %v, want nil", err)
+			}
+		})
+	}
+}
+
+// TestPromotionChaosAndEpochFencing covers the failover story: a failed
+// promotion persist is retryable, a kill at the persist failpoint
+// recovers at the old epoch and re-promotes, and after promotion the
+// follower's lineage refuses the deposed primary while a fresh follower
+// adopts the new epoch.
+func TestPromotionChaosAndEpochFencing(t *testing.T) {
+	t.Run("retry-then-fence", func(t *testing.T) {
+		faultinject.Reset()
+		t.Cleanup(faultinject.Reset)
+		ops := genStream(3000, 73)
+		pdir, fdir := t.TempDir(), t.TempDir()
+		rec0 := graphtinker.NewReplicationRecorder()
+		prim := openChaosPrimary(t, pdir, rec0)
+		defer prim.Crash()
+		acked := pushAcked(t, prim, ops)
+		f := openChaosFollower(t, fdir, nil)
+		errc := connectChaos(prim, f)
+		waitFollower(t, f, acked)
+
+		// A transient persist failure seals the stream but leaves Promote
+		// retryable.
+		if err := faultinject.Set("repl/promote", "error*1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Promote(); err == nil {
+			t.Fatal("Promote succeeded through an armed persist failpoint")
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("sealed stream exit = %v, want nil", err)
+		}
+		faultinject.Reset()
+		epoch, err := f.Promote()
+		if err != nil {
+			t.Fatalf("Promote retry: %v", err)
+		}
+		if epoch != 1 {
+			t.Fatalf("promoted epoch = %d, want 1", epoch)
+		}
+
+		// The promoted directory reopens as a follower at epoch 1 with the
+		// exact applied prefix — and rejects the deposed epoch-0 primary.
+		f2 := openChaosFollower(t, fdir, nil)
+		if got := f2.Epoch(); got != 1 {
+			t.Fatalf("promoted follower epoch = %d, want 1", got)
+		}
+		if got := f2.AppliedLSN(); got != acked {
+			t.Fatalf("promoted follower at LSN %d, want %d", got, acked)
+		}
+		info := f2.Recovery()
+		if info.SnapshotOps+info.ReplayedOps != acked {
+			t.Fatalf("promotion duplicated applies: snapshot %d + replayed %d != %d",
+				info.SnapshotOps, info.ReplayedOps, acked)
+		}
+		testutil.CheckAgainstRef(t, f2.Store(), oracleOver(ops))
+		if err := <-connectChaos(prim, f2); !errors.Is(err, graphtinker.ErrStaleEpoch) {
+			t.Fatalf("deposed primary accepted promoted follower: %v", err)
+		}
+		if got := rec0.Snapshot().StaleEpochRejects; got != 1 {
+			t.Fatalf("deposed primary StaleEpochRejects = %d, want 1", got)
+		}
+		if got := f2.AppliedLSN(); got != acked {
+			t.Fatalf("fenced stream still moved the follower: LSN %d, want %d", got, acked)
+		}
+		if err := f2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reopened as a primary, the directory serves the promoted epoch:
+		// new writes land, and a fresh follower adopts epoch 1.
+		p1 := openChaosPrimary(t, fdir, nil)
+		defer p1.Crash()
+		if got := p1.Epoch(); got != 1 {
+			t.Fatalf("promoted primary epoch = %d, want 1", got)
+		}
+		extra := genStream(500, 79)
+		all := append(append([]graphtinker.Update{}, ops...), extra...)
+		acked2 := pushAcked(t, p1, extra)
+		if acked2 != uint64(len(all)) {
+			t.Fatalf("promoted primary LSN %d, want %d", acked2, len(all))
+		}
+		g := openChaosFollower(t, t.TempDir(), nil)
+		gc := connectChaos(p1, g)
+		waitFollower(t, g, acked2)
+		testutil.CheckAgainstRef(t, g.Store(), oracleOver(all))
+		if got := g.Epoch(); got != 1 {
+			t.Fatalf("fresh follower adopted epoch %d, want 1", got)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-gc
+	})
+
+	t.Run("kill-at-promote-persist", func(t *testing.T) {
+		faultinject.Reset()
+		t.Cleanup(faultinject.Reset)
+		ops := genStream(1200, 83)
+		pdir, fdir := t.TempDir(), t.TempDir()
+		prim := openChaosPrimary(t, pdir, nil)
+		defer prim.Crash()
+		acked := pushAcked(t, prim, ops)
+		f := openChaosFollower(t, fdir, nil)
+		errc := connectChaos(prim, f)
+		waitFollower(t, f, acked)
+
+		if err := faultinject.Set("repl/promote", "panic*1"); err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("Promote returned through an armed panic failpoint")
+				}
+				if _, ok := r.(faultinject.PanicValue); !ok {
+					panic(r)
+				}
+			}()
+			_, _ = f.Promote()
+		}()
+		<-errc // the seal cut the stream before the kill
+		f.Crash()
+		faultinject.Reset()
+
+		// The kill landed after the seal but before the manifest: recovery
+		// is a follower at the OLD epoch with the same applied prefix, and
+		// promotion completes on retry.
+		f2 := openChaosFollower(t, fdir, nil)
+		if got := f2.Epoch(); got != 0 {
+			t.Fatalf("epoch after killed promotion = %d, want 0", got)
+		}
+		if got := f2.AppliedLSN(); got != acked {
+			t.Fatalf("recovered LSN %d, want %d", got, acked)
+		}
+		testutil.CheckAgainstRef(t, f2.Store(), oracleOver(ops))
+		epoch, err := f2.Promote()
+		if err != nil {
+			t.Fatalf("re-promote after kill: %v", err)
+		}
+		if epoch != 1 {
+			t.Fatalf("re-promoted epoch = %d, want 1", epoch)
+		}
+		p1 := openChaosPrimary(t, fdir, nil)
+		defer p1.Crash()
+		if got := p1.Epoch(); got != 1 {
+			t.Fatalf("promoted primary epoch = %d, want 1", got)
+		}
+		if got := p1.NextLSN(); got != acked {
+			t.Fatalf("promoted primary LSN %d, want %d", got, acked)
+		}
+		testutil.CheckAgainstRef(t, p1.Store(), oracleOver(ops))
+	})
+}
+
+// TestWaitForLSNReadYourWritesDifferential is the read-your-writes
+// differential: at every primary ack barrier, a client that saw LSN n
+// acked and then WaitForLSN(n)s on the follower must observe a store
+// exactly equal to the reference model over ops[:n] — every acked batch
+// fully visible, never a torn one.
+func TestWaitForLSNReadYourWritesDifferential(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	ops := genStream(4000, 77)
+	prec := graphtinker.NewReplicationRecorder()
+	prim := openChaosPrimary(t, t.TempDir(), prec)
+	defer prim.Crash()
+	frec := graphtinker.NewReplicationRecorder()
+	f := openChaosFollower(t, t.TempDir(), frec)
+	errc := connectChaos(prim, f)
+	for i := 0; i < len(ops); i += 160 {
+		end := i + 160
+		if end > len(ops) {
+			end = len(ops)
+		}
+		acked := pushAcked(t, prim, ops[i:end])
+		if err := f.WaitForLSN(acked, 10*time.Second); err != nil {
+			t.Fatalf("WaitForLSN(%d): %v", acked, err)
+		}
+		if got := f.AppliedLSN(); got < acked {
+			t.Fatalf("WaitForLSN(%d) returned early at applied %d", acked, got)
+		}
+		testutil.CheckAgainstRef(t, f.Store(), oracleOver(ops[:acked]))
+	}
+	if got := f.Lag(); got != 0 {
+		t.Fatalf("follower lag = %d after draining the stream, want 0", got)
+	}
+
+	// The combined observability snapshots surface position, lag and the
+	// ship/apply counters (primary ship counters land just after the
+	// frame send, hence the poll).
+	total := uint64(len(ops))
+	fm := f.MetricsSnapshot()
+	if fm.AppliedLSN != total || fm.LagOps != 0 || fm.Replication.OpsApplied != total {
+		t.Fatalf("follower MetricsSnapshot = LSN %d lag %d applied %d, want LSN %d lag 0 applied %d",
+			fm.AppliedLSN, fm.LagOps, fm.Replication.OpsApplied, total, total)
+	}
+	if fm.State != graphtinker.FollowerLive.String() {
+		t.Fatalf("follower MetricsSnapshot state = %q, want %q", fm.State, graphtinker.FollowerLive)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		pm := prim.MetricsSnapshot()
+		if pm.NextLSN != total {
+			t.Fatalf("primary MetricsSnapshot NextLSN = %d, want %d", pm.NextLSN, total)
+		}
+		if pm.Replication.OpsShipped == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("primary MetricsSnapshot OpsShipped = %d, want %d", pm.Replication.OpsShipped, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Run after Close = %v, want nil", err)
+	}
+}

@@ -26,7 +26,8 @@ type sessionDurability struct {
 
 	lastCkpt  uint64
 	sinceCkpt uint64
-	failed    bool // a WAL write failed; further batches are refused
+	epoch     uint64 // replication term from the manifest; preserved by checkpoints
+	failed    bool   // a WAL write failed; further batches are refused
 	info      RecoveryInfo
 }
 
@@ -140,7 +141,7 @@ func (s *Session) RecoverWithOptions(dir string, opts DurabilityOptions) (Recove
 		return RecoveryInfo{}, err
 	}
 	var info RecoveryInfo
-	if haveManifest {
+	if haveManifest && m.Snapshot != "" {
 		f, err := openSnapshot(dir, m)
 		if err != nil {
 			return RecoveryInfo{}, err
@@ -189,7 +190,7 @@ func (s *Session) RecoverWithOptions(dir string, opts DurabilityOptions) (Recove
 		info.ReplayedOps = replayed - m.LastLSN
 		info.Recovered = true
 	}
-	s.dur = &sessionDurability{dir: dir, log: log, opts: opts, lastCkpt: m.LastLSN, info: info}
+	s.dur = &sessionDurability{dir: dir, log: log, opts: opts, lastCkpt: m.LastLSN, epoch: m.Epoch, info: info}
 	return info, nil
 }
 
@@ -230,13 +231,14 @@ func (s *Session) checkpointLocked() error {
 		SnapshotCRC:   crc,
 		SnapshotBytes: size,
 		Shards:        1,
+		Epoch:         d.epoch,
 	}); err != nil {
 		return err
 	}
 	if _, err := d.log.Prune(lsn); err != nil {
 		return err
 	}
-	removeStaleSnapshots(d.dir, name)
+	removeStaleSnapshots(d.dir, name, d.opts.Recorder)
 	d.lastCkpt = lsn
 	d.sinceCkpt = 0
 	return nil
