@@ -1,12 +1,18 @@
 // Command gtlint runs the project's invariant analyzers (internal/analysis)
 // over the whole module and exits non-zero on any unsuppressed finding.
 //
-//	gtlint [-json] [./...]
+//	gtlint [-json] [-diff] [-baseline file] [-write-baseline] [./...]
 //
 // The package pattern argument is accepted for familiarity but the tool
 // always analyzes the entire module containing the working directory —
 // partial runs would let cross-package checks (the failpoint registry
 // cross-reference) report stale state.
+//
+// With -diff, findings present in the committed baseline file are
+// tolerated and only NEW findings fail the run — the CI PR gate, so a
+// sharpened check can land without first paying off its whole backlog.
+// -write-baseline snapshots the current findings into the baseline file.
+// The nightly job runs without -diff, so the full backlog stays visible.
 package main
 
 import (
@@ -21,9 +27,17 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON report on stdout")
+	diff := flag.Bool("diff", false, "fail only on findings absent from the baseline file")
+	baselinePath := flag.String("baseline", "gtlint-baseline.json",
+		"baseline file (module-relative) for -diff and -write-baseline")
+	writeBaseline := flag.Bool("write-baseline", false,
+		"snapshot current findings into the baseline file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: gtlint [-json] [./...]\n\nChecks:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gtlint [-json] [-diff] [-baseline file] [-write-baseline] [./...]\n\nChecks:\n")
 		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range analysis.ModuleAnalyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
@@ -35,6 +49,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gtlint:", err)
 		os.Exit(2)
 	}
+	bpath := *baselinePath
+	if !filepath.IsAbs(bpath) {
+		bpath = filepath.Join(moduleDir, bpath)
+	}
 
 	res, err := analysis.Run(moduleDir)
 	if err != nil {
@@ -42,7 +60,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *writeBaseline {
+		b := analysis.NewBaseline(moduleDir, res)
+		if err := b.Write(bpath); err != nil {
+			fmt.Fprintln(os.Stderr, "gtlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "gtlint: wrote %d finding(s) to %s\n", len(b.Entries), bpath)
+		return
+	}
+
 	failing := res.Unsuppressed()
+	if *diff {
+		base, err := analysis.LoadBaseline(bpath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gtlint:", err)
+			os.Exit(2)
+		}
+		fresh := base.Diff(moduleDir, failing)
+		if !*jsonOut {
+			for _, d := range fresh {
+				fmt.Println(analysis.Format(moduleDir, d))
+			}
+			fmt.Fprintf(os.Stderr, "gtlint: %d new finding(s) vs baseline (%d total, %d suppressed)\n",
+				len(fresh), len(failing), len(res.Suppressed()))
+		} else if err := writeJSON(os.Stdout, moduleDir, res); err != nil {
+			fmt.Fprintln(os.Stderr, "gtlint:", err)
+			os.Exit(2)
+		}
+		if len(fresh) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, moduleDir, res); err != nil {
 			fmt.Fprintln(os.Stderr, "gtlint:", err)

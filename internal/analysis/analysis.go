@@ -83,7 +83,7 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Check, d.Message)
 }
 
-// Analyzers returns the full check suite in reporting order.
+// Analyzers returns the per-package check suite in reporting order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		LockHold,
@@ -94,7 +94,72 @@ func Analyzers() []*Analyzer {
 		SeqlockFence,
 		SyncErr,
 		ContainerIface,
+		GoroLeak,
 	}
+}
+
+// ModulePass carries every loaded package into a whole-module analyzer:
+// checks that need a call graph, cross-package contracts, or a spec file
+// at the module root run here instead of per package.
+type ModulePass struct {
+	// Module is the module's import path; Dir its root directory (where
+	// spec files like lockorder.spec live).
+	Module string
+	Dir    string
+	// Fset is the load-wide FileSet shared by every package.
+	Fset *token.FileSet
+	// Packages holds each analysis unit (test-inclusive primary packages
+	// and external _test packages) in load order.
+	Packages []*Package
+
+	analyzer *ModuleAnalyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records one diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a diagnostic at an explicit file position — for
+// findings anchored outside Go sources (e.g. a stale lockorder.spec line).
+func (p *ModulePass) ReportAt(position token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.analyzer.Name,
+		Position: position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModuleAnalyzer is one whole-module check.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ModulePass)
+}
+
+// ModuleAnalyzers returns the whole-module check suite.
+func ModuleAnalyzers() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{
+		LockOrder,
+		BufRetain,
+	}
+}
+
+// knownChecks is the set of check IDs a //gtlint:ignore may name.
+func knownChecks() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range ModuleAnalyzers() {
+		known[a.Name] = true
+	}
+	return known
 }
 
 // suppression is one parsed //gtlint:ignore annotation.
@@ -141,10 +206,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, report func(Dia
 					continue
 				}
 				checks := make(map[string]bool)
-				known := make(map[string]bool)
-				for _, a := range Analyzers() {
-					known[a.Name] = true
-				}
+				known := knownChecks()
 				bad := false
 				for _, id := range strings.Split(fields[0], ",") {
 					if !known[id] {

@@ -27,7 +27,8 @@ func parseWants(t *testing.T, dir string) []want {
 	t.Helper()
 	var out []want
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+		if err != nil || d.IsDir() ||
+			!(strings.HasSuffix(path, ".go") || strings.HasSuffix(path, ".spec")) {
 			return err
 		}
 		raw, err := os.ReadFile(path)
@@ -47,8 +48,9 @@ func parseWants(t *testing.T, dir string) []want {
 	return out
 }
 
-// checkFixture runs one analyzer suite over a fixture module and
-// compares the unsuppressed diagnostics against the want markers.
+// checkFixture runs one per-package analyzer suite over a fixture
+// module and compares the unsuppressed diagnostics against the want
+// markers.
 func checkFixture(t *testing.T, fixture string, suite []*Analyzer) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", fixture)
@@ -56,6 +58,22 @@ func checkFixture(t *testing.T, fixture string, suite []*Analyzer) {
 	if err != nil {
 		t.Fatalf("run %s: %v", fixture, err)
 	}
+	compareFixture(t, dir, res)
+}
+
+// checkModuleFixture is checkFixture for whole-module analyzers.
+func checkModuleFixture(t *testing.T, fixture string, msuite []*ModuleAnalyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	res, err := runModule(dir, msuite)
+	if err != nil {
+		t.Fatalf("run %s: %v", fixture, err)
+	}
+	compareFixture(t, dir, res)
+}
+
+func compareFixture(t *testing.T, dir string, res *Result) {
+	t.Helper()
 	wants := parseWants(t, dir)
 	got := res.Unsuppressed()
 	used := make([]bool, len(got))
@@ -115,6 +133,18 @@ func TestSyncErr(t *testing.T) {
 
 func TestContainerIface(t *testing.T) {
 	checkFixture(t, "containeriface", []*Analyzer{ContainerIface})
+}
+
+func TestLockOrder(t *testing.T) {
+	checkModuleFixture(t, "lockorder", []*ModuleAnalyzer{LockOrder})
+}
+
+func TestGoroLeak(t *testing.T) {
+	checkFixture(t, "goroleak", []*Analyzer{GoroLeak})
+}
+
+func TestBufRetain(t *testing.T) {
+	checkModuleFixture(t, "bufretain", []*ModuleAnalyzer{BufRetain})
 }
 
 func TestSuppressions(t *testing.T) {

@@ -1,0 +1,117 @@
+package analysis
+
+// Findings baseline: a committed JSON snapshot of the unsuppressed
+// findings a branch has accepted. CI diffs each run against it and
+// fails only on findings that are NOT in the baseline, so a new check
+// (or a newly sharpened one) can land with its pre-existing findings
+// recorded instead of blocking every PR until the backlog is paid off.
+//
+// Identity is (check, relative file, message) — deliberately
+// line-insensitive, so edits elsewhere in a file do not churn the
+// baseline. Matching is multiset-style: N baseline entries with the
+// same key absorb at most N findings, so a duplicated finding still
+// surfaces as new.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry is one accepted finding. Line is recorded for human
+// readers but ignored when matching.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+}
+
+// Baseline is the committed findings snapshot.
+type Baseline struct {
+	Entries []BaselineEntry `json:"findings"`
+}
+
+type baselineKey struct {
+	check, file, message string
+}
+
+// NewBaseline snapshots a run's unsuppressed findings with paths
+// relative to moduleDir, sorted for a stable committed file.
+func NewBaseline(moduleDir string, res *Result) *Baseline {
+	b := &Baseline{Entries: []BaselineEntry{}}
+	for _, d := range res.Unsuppressed() {
+		d = Relativize(moduleDir, d)
+		b.Entries = append(b.Entries, BaselineEntry{
+			Check:   d.Check,
+			File:    d.Position.Filename,
+			Line:    d.Position.Line,
+			Message: d.Message,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Line != c.Line {
+			return a.Line < c.Line
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a committed baseline file. A missing file is an
+// empty baseline (every finding is new), so a repo bootstraps without a
+// committed file and CI still gates correctly.
+func LoadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write persists the baseline as indented JSON (committed to the repo,
+// so the encoding must be diff-friendly and stable).
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff returns the findings not absorbed by the baseline, preserving
+// input order. Paths are relativized against moduleDir before matching
+// so absolute-path diagnostics compare against the committed relative
+// entries.
+func (b *Baseline) Diff(moduleDir string, findings []Diagnostic) []Diagnostic {
+	budget := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Check, e.File, e.Message}]++
+	}
+	var fresh []Diagnostic
+	for _, d := range findings {
+		rd := Relativize(moduleDir, d)
+		k := baselineKey{rd.Check, rd.Position.Filename, rd.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}

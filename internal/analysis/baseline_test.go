@@ -1,0 +1,104 @@
+package analysis
+
+// Unit tests for the findings baseline: identity, multiset matching,
+// round-trip, and the missing-file bootstrap path.
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func diag(check, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Check:    check,
+		Position: token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineDiffLineInsensitive(t *testing.T) {
+	res := &Result{Diagnostics: []Diagnostic{
+		diag("lockhold", "/mod/a.go", 10, "sleep while holding mu"),
+	}}
+	b := NewBaseline("/mod", res)
+	// Same finding, different line: absorbed.
+	fresh := b.Diff("/mod", []Diagnostic{
+		diag("lockhold", "/mod/a.go", 99, "sleep while holding mu"),
+	})
+	if len(fresh) != 0 {
+		t.Fatalf("line-shifted finding not absorbed: %v", fresh)
+	}
+}
+
+func TestBaselineDiffNewFinding(t *testing.T) {
+	b := NewBaseline("/mod", &Result{Diagnostics: []Diagnostic{
+		diag("lockhold", "/mod/a.go", 10, "sleep while holding mu"),
+	}})
+	fresh := b.Diff("/mod", []Diagnostic{
+		diag("lockhold", "/mod/a.go", 10, "sleep while holding mu"),
+		diag("goroleak", "/mod/b.go", 5, "goroutine has no provable exit path"),
+	})
+	if len(fresh) != 1 || fresh[0].Check != "goroleak" {
+		t.Fatalf("fresh = %v, want just the goroleak finding", fresh)
+	}
+}
+
+func TestBaselineDiffMultiset(t *testing.T) {
+	// One baseline entry absorbs one finding; a duplicate is new.
+	b := NewBaseline("/mod", &Result{Diagnostics: []Diagnostic{
+		diag("syncerr", "/mod/a.go", 3, "Sync error discarded"),
+	}})
+	fresh := b.Diff("/mod", []Diagnostic{
+		diag("syncerr", "/mod/a.go", 3, "Sync error discarded"),
+		diag("syncerr", "/mod/a.go", 40, "Sync error discarded"),
+	})
+	if len(fresh) != 1 {
+		t.Fatalf("fresh = %v, want exactly one surviving duplicate", fresh)
+	}
+}
+
+func TestBaselineSuppressedExcluded(t *testing.T) {
+	res := &Result{Diagnostics: []Diagnostic{
+		{Check: "syncerr", Position: token.Position{Filename: "/mod/a.go", Line: 1},
+			Message: "suppressed one", Suppressed: true},
+	}}
+	b := NewBaseline("/mod", res)
+	if len(b.Entries) != 0 {
+		t.Fatalf("suppressed findings leaked into baseline: %v", b.Entries)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	b := NewBaseline("/mod", &Result{Diagnostics: []Diagnostic{
+		diag("bufretain", "/mod/x.go", 7, "no-retention value ops stored into s.held"),
+		diag("lockorder", "/mod/y.go", 2, "lock-order edge a -> b not in lockorder.spec"),
+	}})
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %v, want 2", got.Entries)
+	}
+	if fresh := got.Diff("/mod", []Diagnostic{
+		diag("bufretain", "/mod/x.go", 7, "no-retention value ops stored into s.held"),
+	}); len(fresh) != 0 {
+		t.Fatalf("round-tripped baseline failed to absorb: %v", fresh)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline should bootstrap empty, got %v", err)
+	}
+	fresh := b.Diff("/mod", []Diagnostic{diag("clockban", "/mod/a.go", 1, "time.Now outside a clock")})
+	if len(fresh) != 1 {
+		t.Fatalf("empty baseline absorbed a finding")
+	}
+}

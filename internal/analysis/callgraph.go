@@ -1,0 +1,115 @@
+package analysis
+
+// Module-wide call graph over string function keys. The loader
+// type-checks each package twice (once as an import dependency without
+// test files, once as the test-inclusive analysis unit), so *types.Func
+// identity does NOT hold across packages — two views of the same
+// function are distinct objects. Keys of the form
+// "pkgPath.Recv.Name" / "pkgPath.Name" are stable across both views and
+// are the only cross-package currency used by module analyzers.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FuncNode is one declared function or method in the module.
+type FuncNode struct {
+	Key  string
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// CallGraph indexes every function declaration in the loaded packages
+// and the statically-resolvable module-local calls between them.
+type CallGraph struct {
+	// Funcs maps function key to its declaration.
+	Funcs map[string]*FuncNode
+	// Calls maps a function key to the keys of module-local functions it
+	// calls directly (outside nested function literals), deduplicated.
+	Calls map[string][]string
+}
+
+// funcKey renders the cross-universe-stable key of a function object.
+func funcKey(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	if recv := recvNamed(fn); recv != "" {
+		return pkg.Path() + "." + recv + "." + fn.Name()
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// BuildCallGraph indexes the packages' function declarations and their
+// module-local call edges. Test files (_test.go) are excluded: the
+// concurrency invariants the module analyzers enforce are production
+// contracts.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	cg := &CallGraph{
+		Funcs: make(map[string]*FuncNode),
+		Calls: make(map[string][]string),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if isTestFile(pkg, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(fn)
+				if key == "" {
+					continue
+				}
+				cg.Funcs[key] = &FuncNode{Key: key, Decl: fd, Pkg: pkg}
+				cg.Calls[key] = collectCalls(pkg, fd.Body)
+			}
+		}
+	}
+	return cg
+}
+
+// collectCalls lists the module-local callee keys reachable from body,
+// skipping nested function literals (their calls run in their own
+// goroutine/deferred context and are analyzed separately).
+func collectCalls(pkg *Package, body *ast.BlockStmt) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if key := calleeKey(pkg, n); key != "" && !seen[key] {
+				seen[key] = true
+				out = append(out, key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleeKey resolves a call to the key of a module-local function, or ""
+// when the callee is external, dynamic, or an interface method.
+func calleeKey(pkg *Package, call *ast.CallExpr) string {
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return funcKey(fn)
+}
+
+// isTestFile reports whether the file is a _test.go file.
+func isTestFile(pkg *Package, f *ast.File) bool {
+	return strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,489 @@
+package analysis
+
+// Control-flow graphs over go/ast function bodies. Every flow-sensitive
+// check (lockhold, lockorder, goroleak, bufretain) runs on this one
+// representation instead of hand-rolled statement walkers, so branch,
+// loop, switch, select, defer, goto and panic edges are modeled once.
+//
+// The graph is intentionally statement-grained: a basic block holds the
+// AST nodes (statements and scrutinee expressions) that execute
+// unconditionally once the block is entered, in evaluation order. Checks
+// extract their own events (lock calls, channel ops, taint assignments)
+// from the nodes; the CFG only supplies the edges. Nested function
+// literals are opaque: they appear as nodes where they are created but
+// their bodies are NOT wired into the enclosing graph — each check
+// analyzes them as separate functions with a fresh context.
+//
+// Edge model:
+//   - if/else, for, range, switch, type switch, select: the usual
+//     branch/join/back edges. A for without a condition gets no edge to
+//     its after-block, so `for {}` makes everything past it (and the
+//     function exit, absent another path) unreachable — the property the
+//     goroleak check keys on.
+//   - select: the SelectStmt itself is a node in the head block (the
+//     blocking point); each comm clause starts its own block whose first
+//     node is the clause's comm statement, registered in CFG.Comm so
+//     checks don't double-count the channel op. A case-less select{}
+//     has no successors: it parks forever.
+//   - return: edge to the synthetic Exit block.
+//   - panic(...): treated as a terminator with an edge to Exit (the
+//     deferred-call path); code after it is unreachable.
+//   - break/continue/goto: resolved through the label table; forward
+//     gotos are fixed up at the end.
+//   - defer: the DeferStmt stays a node (so checks can collect nested
+//     literals) and is recorded in Defers in registration order; no
+//     control edge is added — deferred calls run at Exit.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFGBlock is one basic block.
+type CFGBlock struct {
+	Index int
+	// Kind labels the block's structural role for debugging and tests:
+	// "entry", "exit", "body", "if.then", "if.else", "if.join",
+	// "for.head", "for.body", "for.post", "for.after", "range.head",
+	// "range.body", "range.after", "switch.case", "switch.after",
+	// "select.clause", "select.after", "label".
+	Kind string
+	// Nodes are the statements/expressions executed when the block runs,
+	// in evaluation order.
+	Nodes []ast.Node
+	Succs []*CFGBlock
+}
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	Blocks []*CFGBlock
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+	// Defers lists the body's defer statements in registration order
+	// (function literals inside them included); they execute at Exit.
+	Defers []*ast.DeferStmt
+	// Comm marks select communication statements: they appear as the
+	// first node of their clause block, but the blocking operation was
+	// already accounted to the SelectStmt node in the head block.
+	Comm map[ast.Node]bool
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{Comm: make(map[ast.Node]bool)},
+		labels: make(map[string]*CFGBlock),
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil { // fall off the end of the body
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	for _, fix := range b.gotoFixes {
+		b.edge(fix.from, b.labelBlock(fix.label))
+	}
+	return b.cfg
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (c *CFG) Reachable() map[*CFGBlock]bool {
+	seen := make(map[*CFGBlock]bool, len(c.Blocks))
+	stack := []*CFGBlock{c.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}
+
+// ExitReachable reports whether the function can terminate: some path
+// from Entry reaches Exit. A body whose only steady state is an
+// unbreakable loop (or a case-less select) cannot.
+func (c *CFG) ExitReachable() bool {
+	return c.Reachable()[c.Exit]
+}
+
+// loopFrame tracks the jump targets of one enclosing loop (or switch /
+// select, for break).
+type loopFrame struct {
+	label      string    // non-empty for labeled statements
+	breakTo    *CFGBlock // break target
+	continueTo *CFGBlock // continue target; nil for switch/select frames
+}
+
+type gotoFix struct {
+	from  *CFGBlock
+	label string
+}
+
+type cfgBuilder struct {
+	cfg       *CFG
+	cur       *CFGBlock // nil while flow is unreachable (after a terminator)
+	frames    []loopFrame
+	labels    map[string]*CFGBlock // goto targets
+	gotoFixes []gotoFix
+	// pendingLabel carries a label down to the loop/switch statement it
+	// annotates, so `L: for { continue L }` resolves.
+	pendingLabel string
+	// fallFrom records the block a fallthrough statement ended in, for
+	// switchStmt to wire to the next case body.
+	fallFrom *CFGBlock
+}
+
+func (b *cfgBuilder) newBlock(kind string) *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block (dropped when unreachable).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// startBlock begins a new block reachable from the current one.
+func (b *cfgBuilder) startBlock(kind string) *CFGBlock {
+	blk := b.newBlock(kind)
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	return blk
+}
+
+func (b *cfgBuilder) labelBlock(name string) *CFGBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label")
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) frameFor(label string, needContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall reports a direct call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) && b.cur != nil {
+			b.edge(b.cur, b.cfg.Exit)
+			b.cur = nil
+		}
+	case *ast.SendStmt, *ast.IncDecStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.cfg.Defers = append(b.cfg.Defers, s)
+		}
+	case *ast.GoStmt:
+		b.add(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.cfg.Exit)
+			b.cur = nil
+		}
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	}
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	lb := b.labelBlock(s.Label.Name)
+	lb.Kind = "label"
+	if b.cur != nil {
+		b.edge(b.cur, lb)
+	}
+	b.cur = lb
+	b.pendingLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	if b.cur == nil {
+		return
+	}
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.frameFor(label, false); f != nil {
+			b.edge(b.cur, f.breakTo)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if f := b.frameFor(label, true); f != nil {
+			b.edge(b.cur, f.continueTo)
+		}
+		b.cur = nil
+	case token.GOTO:
+		b.gotoFixes = append(b.gotoFixes, gotoFix{from: b.cur, label: label})
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// switchStmt wires the edge to the next case body from fallFrom.
+		b.fallFrom = b.cur
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	join := b.newBlock("if.join")
+
+	b.cur = head
+	then := b.startBlock("if.then")
+	b.cur = then
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, join)
+	}
+
+	if s.Else != nil {
+		b.cur = head
+		els := b.startBlock("if.else")
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	} else if head != nil {
+		b.edge(head, join)
+	}
+
+	if hasPred(b.cfg, join) {
+		b.cur = join
+	} else {
+		b.cur = nil // both arms terminated
+	}
+}
+
+func hasPred(c *CFG, blk *CFGBlock) bool {
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s == blk {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.startBlock("for.head")
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock("for.after")
+	if s.Cond != nil {
+		b.edge(head, after) // condition can be false on entry
+	}
+	var post *CFGBlock
+	continueTo := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		continueTo = post
+	}
+	body := b.newBlock("for.body")
+	b.edge(head, body)
+
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: continueTo})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, continueTo)
+	}
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+
+	if hasPred(b.cfg, after) {
+		b.cur = after
+	} else {
+		b.cur = nil // for{} with no break: nothing after the loop runs
+	}
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X)
+	head := b.startBlock("range.head")
+	head.Nodes = append(head.Nodes, s) // the range op itself (key/value assignment)
+	after := b.newBlock("range.after")
+	b.edge(head, after) // a range always may be exhausted (or its channel closed)
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.newBlock("switch.after")
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+
+	// Build every case block first so fallthrough can target the next one.
+	var cases []*ast.CaseClause
+	for _, c := range body.List {
+		cases = append(cases, c.(*ast.CaseClause))
+	}
+	blocks := make([]*CFGBlock, len(cases))
+	hasDefault := false
+	for i, cc := range cases {
+		blocks[i] = b.newBlock("switch.case")
+		if head != nil {
+			b.edge(head, blocks[i])
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && head != nil {
+		b.edge(head, after) // no case may match
+	}
+	for i, cc := range cases {
+		b.cur = blocks[i]
+		b.fallFrom = nil
+		b.stmtList(cc.Body)
+		if b.fallFrom != nil && i+1 < len(blocks) {
+			b.edge(b.fallFrom, blocks[i+1])
+		} else if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.fallFrom = nil
+	b.frames = b.frames[:len(b.frames)-1]
+	if hasPred(b.cfg, after) {
+		b.cur = after
+	} else {
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	b.add(s) // the blocking point; checks test selectHasDefault themselves
+	head := b.cur
+	after := b.newBlock("select.after")
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock("select.clause")
+		if head != nil {
+			b.edge(head, blk)
+		}
+		b.cur = blk
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+			b.cfg.Comm[cc.Comm] = true
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	// select{} (no clauses) parks forever: after has no preds, flow dies.
+	if hasPred(b.cfg, after) {
+		b.cur = after
+	} else {
+		b.cur = nil
+	}
+}

@@ -1,0 +1,290 @@
+package analysis
+
+// Unit tests for the CFG builder: branch, loop, defer, panic, goto,
+// switch-fallthrough and select edges, plus the exit-reachability
+// predicate the goroleak check keys on.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFor parses a function body and returns its CFG.
+func buildFor(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildFor(t, "x := 1\n_ = x")
+	if !c.ExitReachable() {
+		t.Fatal("straight-line body must reach exit")
+	}
+	if got := len(c.Entry.Nodes); got != 2 {
+		t.Fatalf("entry block nodes = %d, want 2", got)
+	}
+	if len(c.Entry.Succs) != 1 || c.Entry.Succs[0] != c.Exit {
+		t.Fatalf("entry must fall through to exit, got %v", c.Entry.Succs)
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	c := buildFor(t, "if x := 1; x > 0 {\n_ = x\n} else {\n_ = -x\n}\n_ = 2")
+	var join *CFGBlock
+	for _, b := range c.Blocks {
+		if b.Kind == "if.join" {
+			join = b
+		}
+	}
+	if join == nil {
+		t.Fatal("no if.join block")
+	}
+	preds := 0
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s == join {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Fatalf("join preds = %d, want 2 (then + else)", preds)
+	}
+	if !c.ExitReachable() {
+		t.Fatal("exit must be reachable")
+	}
+}
+
+func TestCFGIfBothArmsReturn(t *testing.T) {
+	c := buildFor(t, "if true {\nreturn\n} else {\nreturn\n}")
+	reach := c.Reachable()
+	for _, b := range c.Blocks {
+		if b.Kind == "if.join" && reach[b] {
+			t.Fatal("join block must be unreachable when both arms return")
+		}
+	}
+	if !c.ExitReachable() {
+		t.Fatal("exit reachable via the returns")
+	}
+}
+
+func TestCFGForLoopEdges(t *testing.T) {
+	c := buildFor(t, "for i := 0; i < 3; i++ {\n_ = i\n}\n_ = 1")
+	var head, body, post, after *CFGBlock
+	for _, b := range c.Blocks {
+		switch b.Kind {
+		case "for.head":
+			head = b
+		case "for.body":
+			body = b
+		case "for.post":
+			post = b
+		case "for.after":
+			after = b
+		}
+	}
+	if head == nil || body == nil || post == nil || after == nil {
+		t.Fatal("missing loop blocks")
+	}
+	if !hasSucc(head, body) || !hasSucc(head, after) {
+		t.Fatal("head must branch to body and after")
+	}
+	if !hasSucc(body, post) || !hasSucc(post, head) {
+		t.Fatal("body must flow to post, post back to head")
+	}
+	if !c.ExitReachable() {
+		t.Fatal("bounded loop must reach exit")
+	}
+}
+
+func TestCFGInfiniteForUnreachableExit(t *testing.T) {
+	c := buildFor(t, "for {\n_ = 1\n}")
+	if c.ExitReachable() {
+		t.Fatal("for{} without break must not reach exit")
+	}
+}
+
+func TestCFGInfiniteForWithBreak(t *testing.T) {
+	c := buildFor(t, "for {\nif true {\nbreak\n}\n}")
+	if !c.ExitReachable() {
+		t.Fatal("break gives the loop an exit path")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildFor(t, "L:\nfor {\nfor {\nbreak L\n}\n}")
+	if !c.ExitReachable() {
+		t.Fatal("labeled break out of the inner loop must reach exit")
+	}
+	// Unlabeled break in the inner loop only: outer still spins.
+	c = buildFor(t, "for {\nfor {\nbreak\n}\n}")
+	if c.ExitReachable() {
+		t.Fatal("inner break alone must not give the outer loop an exit")
+	}
+}
+
+func TestCFGContinueTargetsPost(t *testing.T) {
+	c := buildFor(t, "for i := 0; i < 3; i++ {\ncontinue\n}")
+	var body, post *CFGBlock
+	for _, b := range c.Blocks {
+		switch b.Kind {
+		case "for.body":
+			body = b
+		case "for.post":
+			post = b
+		}
+	}
+	if body == nil || post == nil {
+		t.Fatal("missing blocks")
+	}
+	if !hasSucc(body, post) {
+		t.Fatal("continue must target the post block")
+	}
+}
+
+func TestCFGRangeAlwaysExits(t *testing.T) {
+	c := buildFor(t, "var xs []int\nfor _, x := range xs {\n_ = x\n}")
+	if !c.ExitReachable() {
+		t.Fatal("range loop has a natural exhaustion edge")
+	}
+}
+
+func TestCFGSwitchNoDefaultFallsPast(t *testing.T) {
+	c := buildFor(t, "x := 1\nswitch x {\ncase 1:\nreturn\n}\n_ = x")
+	if !c.ExitReachable() {
+		t.Fatal("switch without default must have a no-match edge")
+	}
+	var after *CFGBlock
+	for _, b := range c.Blocks {
+		if b.Kind == "switch.after" {
+			after = b
+		}
+	}
+	if after == nil || !c.Reachable()[after] {
+		t.Fatal("switch.after must be reachable without a default")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := buildFor(t, "switch 1 {\ncase 1:\nfallthrough\ncase 2:\nreturn\ndefault:\n}")
+	var cases []*CFGBlock
+	for _, b := range c.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("case blocks = %d, want 3", len(cases))
+	}
+	if !hasSucc(cases[0], cases[1]) {
+		t.Fatal("fallthrough must wire case 1 to case 2's body")
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	c := buildFor(t, "var a, b chan int\nselect {\ncase <-a:\ncase v := <-b:\n_ = v\n}")
+	clauses := 0
+	commMarked := 0
+	for _, b := range c.Blocks {
+		if b.Kind == "select.clause" {
+			clauses++
+			if len(b.Nodes) > 0 && c.Comm[b.Nodes[0]] {
+				commMarked++
+			}
+		}
+	}
+	if clauses != 2 {
+		t.Fatalf("select clauses = %d, want 2", clauses)
+	}
+	if commMarked != 2 {
+		t.Fatalf("comm-marked clause heads = %d, want 2", commMarked)
+	}
+	if !c.ExitReachable() {
+		t.Fatal("select with clauses must reach exit")
+	}
+}
+
+func TestCFGEmptySelectParksForever(t *testing.T) {
+	c := buildFor(t, "select {}")
+	if c.ExitReachable() {
+		t.Fatal("select{} parks forever; exit must be unreachable")
+	}
+}
+
+func TestCFGForSelectWithReturnCase(t *testing.T) {
+	// The blessed worker shape: loop forever, exit on the done channel.
+	c := buildFor(t, "var done, work chan int\nfor {\nselect {\ncase <-done:\nreturn\ncase w := <-work:\n_ = w\n}\n}")
+	if !c.ExitReachable() {
+		t.Fatal("done-case return must make exit reachable")
+	}
+	// Without the return, the loop spins forever.
+	c = buildFor(t, "var done, work chan int\nfor {\nselect {\ncase <-done:\ncase w := <-work:\n_ = w\n}\n}")
+	if c.ExitReachable() {
+		t.Fatal("no case ever leaves the loop; exit must be unreachable")
+	}
+}
+
+func TestCFGPanicEdge(t *testing.T) {
+	c := buildFor(t, "panic(\"boom\")\n_ = 1")
+	if !c.ExitReachable() {
+		t.Fatal("panic terminates toward exit (deferred-call path)")
+	}
+	reach := c.Reachable()
+	// The statement after the panic is dead: its block is unreachable or
+	// the node was dropped from flow entirely.
+	for _, b := range c.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+				t.Fatal("code after panic must not be in a reachable block")
+			}
+		}
+	}
+}
+
+func TestCFGDeferCollected(t *testing.T) {
+	c := buildFor(t, "defer f()\nif true {\ndefer g()\n}\nreturn")
+	if len(c.Defers) != 2 {
+		t.Fatalf("defers = %d, want 2", len(c.Defers))
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c := buildFor(t, "i := 0\nLoop:\ni++\nif i < 3 {\ngoto Loop\n}")
+	if !c.ExitReachable() {
+		t.Fatal("goto loop with a conditional exit must reach exit")
+	}
+	// A goto cycle with no way out must not.
+	c = buildFor(t, "Loop:\ngoto Loop")
+	if c.ExitReachable() {
+		t.Fatal("unconditional goto cycle must not reach exit")
+	}
+}
+
+func TestCFGFuncLitOpaque(t *testing.T) {
+	// The literal's infinite loop must not leak into the outer graph.
+	c := buildFor(t, "f := func() {\nfor {\n}\n}\n_ = f")
+	if !c.ExitReachable() {
+		t.Fatal("nested function literal bodies are opaque to the outer CFG")
+	}
+}
+
+func hasSucc(b *CFGBlock, s *CFGBlock) bool {
+	for _, x := range b.Succs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -40,13 +40,24 @@ func (r *Result) Suppressed() []Diagnostic {
 	return out
 }
 
-// Run analyzes the module rooted at moduleDir with the full check suite.
+// Run analyzes the module rooted at moduleDir with the full check suite,
+// per-package and whole-module checks both.
 func Run(moduleDir string) (*Result, error) {
-	return run(moduleDir, Analyzers())
+	return runFull(moduleDir, Analyzers(), ModuleAnalyzers())
 }
 
-// run is the suite-parameterized engine; tests use it to isolate checks.
+// run is the suite-parameterized engine; tests use it to isolate
+// per-package checks.
 func run(moduleDir string, suite []*Analyzer) (*Result, error) {
+	return runFull(moduleDir, suite, nil)
+}
+
+// runModule isolates whole-module checks for the golden fixtures.
+func runModule(moduleDir string, msuite []*ModuleAnalyzer) (*Result, error) {
+	return runFull(moduleDir, nil, msuite)
+}
+
+func runFull(moduleDir string, suite []*Analyzer, msuite []*ModuleAnalyzer) (*Result, error) {
 	loader, err := NewLoader(moduleDir)
 	if err != nil {
 		return nil, err
@@ -61,11 +72,13 @@ func run(moduleDir string, suite []*Analyzer) (*Result, error) {
 	report := func(d Diagnostic) { diags = append(diags, d) }
 	var sups []*suppression
 
+	var allPkgs []*Package
 	for _, dir := range dirs {
 		pkgs, err := loader.LoadDir(dir, true)
 		if err != nil {
 			return nil, err
 		}
+		allPkgs = append(allPkgs, pkgs...)
 		for _, pkg := range pkgs {
 			sups = append(sups, collectSuppressions(pkg.Fset, pkg.Files, report)...)
 			for _, a := range suite {
@@ -86,6 +99,18 @@ func run(moduleDir string, suite []*Analyzer) (*Result, error) {
 				a.Run(pass)
 			}
 		}
+	}
+
+	for _, ma := range msuite {
+		mp := &ModulePass{
+			Module:   loader.ModulePath,
+			Dir:      moduleDir,
+			Fset:     loader.Fset(),
+			Packages: allPkgs,
+			analyzer: ma,
+			diags:    &diags,
+		}
+		ma.Run(mp)
 	}
 
 	diags = append(diags, staleRegistryDiags(loader.Fset(), moduleDir)...)

@@ -1,0 +1,74 @@
+package analysis
+
+// goroleak: every go statement in non-test code must spawn a body with a
+// provable exit path. The predicate is purely structural on the CFG:
+// the body's Exit block must be reachable from Entry. That admits the
+// sanctioned worker shapes —
+//
+//	for { select { case <-done: return; case w := <-work: ... } }
+//	for w := range work { ... }        // closed work channel
+//	for { if ... { break } ... }
+//
+// — and rejects fire-and-forget loops with no way out: for {},
+// select-loops whose cases never leave the loop, `for { <-ch }`. The
+// check resolves go'd function literals and same-package named
+// functions; go'd cross-package or dynamic callees are out of
+// intraprocedural reach and stay silent (their bodies are checked in
+// their own package).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak is the goroleak analyzer.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every spawned goroutine must have a provable exit path (done-select, closed work channel, or breakable loop)",
+	Scope: func(pkgPath, filename string) bool {
+		return !strings.HasSuffix(filename, "_test.go")
+	},
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var what string
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body, what = fun.Body, "goroutine"
+			default:
+				fn := calleeFunc(pass.Info, g.Call)
+				if fn == nil {
+					return true // dynamic callee: out of reach
+				}
+				fd, ok := decls[fn]
+				if !ok {
+					return true // cross-package: checked in its own package
+				}
+				body, what = fd.Body, "go "+fn.Name()
+			}
+			if !BuildCFG(body).ExitReachable() {
+				pass.Reportf(g.Pos(), "%s has no provable exit path (no reachable return/fall-through: add a done/ctx select case, range over a closable channel, or a break)", what)
+			}
+			return true
+		})
+	}
+}

@@ -14,6 +14,13 @@ package analysis
 // Cross-package calls are NOT considered blocking — an API's internal
 // waiting is that package's own contract — so the check encodes "don't
 // hold YOUR lock across YOUR scheduling points".
+//
+// The must-hold sets are computed on the shared CFG (cfg.go) by the
+// forward dataflow solver (dataflow.go) with intersection meet, then a
+// single report pass replays each reachable block from its converged
+// entry state. Nested function literals are separate contexts analyzed
+// with an empty held set: a goroutine or deferred closure does not hold
+// its spawner's locks.
 
 import (
 	"fmt"
@@ -39,15 +46,6 @@ var LockHold = &Analyzer{
 		return false
 	},
 	Run: runLockHold,
-}
-
-// blockEvent is one lock-relevant occurrence inside a statement, in
-// source order.
-type blockEvent struct {
-	kind string // "lock", "rlock", "unlock", "runlock", "block"
-	key  string // lock identity (rendered receiver expression)
-	pos  token.Pos
-	desc string // for "block": human description of the blocking op
 }
 
 type lockholdCtx struct {
@@ -95,9 +93,128 @@ func runLockHold(pass *Pass) {
 	}
 
 	for _, fd := range ctx.decls {
-		w := &lockWalker{ctx: ctx}
-		w.stmts(fd.Body.List, map[string]token.Pos{})
+		ctx.analyzeBody(fd.Body)
 	}
+}
+
+// analyzeBody runs the CFG-based must-hold analysis over one function
+// (or function-literal) body.
+func (c *lockholdCtx) analyzeBody(body *ast.BlockStmt) {
+	cfg := BuildCFG(body)
+	ins := SolveForward(cfg, map[string]token.Pos{}, intersectHeld, copyHeld, equalHeld,
+		func(b *CFGBlock, in map[string]token.Pos) map[string]token.Pos {
+			c.applyBlock(cfg, b, in, false)
+			return in
+		})
+	reach := cfg.Reachable()
+	for _, b := range cfg.Blocks {
+		if !reach[b] {
+			continue
+		}
+		in, ok := ins[b]
+		if !ok {
+			continue
+		}
+		c.applyBlock(cfg, b, copyHeld(in), true)
+	}
+}
+
+// applyBlock replays one block's nodes in evaluation order, mutating the
+// held set. With report set it also emits diagnostics and descends into
+// nested function literals (each analyzed once, from its own block).
+func (c *lockholdCtx) applyBlock(cfg *CFG, b *CFGBlock, held map[string]token.Pos, report bool) {
+	for _, n := range b.Nodes {
+		if cfg.Comm[n] {
+			// Select comm clause: the blocking operation was already
+			// accounted to the SelectStmt node in the head block.
+			continue
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			c.scanExpr(n.X, held, report)
+		case *ast.SendStmt:
+			c.scanExpr(n.Chan, held, report)
+			c.scanExpr(n.Value, held, report)
+			c.reportIfHeld(held, n.Arrow, "channel send", report)
+		case *ast.AssignStmt:
+			for _, e := range n.Rhs {
+				c.scanExpr(e, held, report)
+			}
+			for _, e := range n.Lhs {
+				c.scanExpr(e, held, report)
+			}
+		case *ast.IncDecStmt:
+			c.scanExpr(n.X, held, report)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, e := range vs.Values {
+							c.scanExpr(e, held, report)
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				c.scanExpr(e, held, report)
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function exit: no
+			// state change. A deferred closure is its own empty-held context.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && report {
+				c.analyzeBody(lit.Body)
+			}
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && report {
+				c.analyzeBody(lit.Body)
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				c.reportIfHeld(held, n.Select, "select (blocking)", report)
+			}
+		case *ast.RangeStmt:
+			// The range expression was scanned in the predecessor block;
+			// the per-iteration assignment carries no lock events.
+		case ast.Expr: // if/for conditions, switch tags
+			c.scanExpr(n, held, report)
+		}
+	}
+}
+
+// scanExpr walks one expression for blocking operations and lock state
+// transitions, in source order.
+func (c *lockholdCtx) scanExpr(e ast.Expr, held map[string]token.Pos, report bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if report {
+				c.analyzeBody(n.Body)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.reportIfHeld(held, n.OpPos, "channel receive", report)
+			}
+		case *ast.CallExpr:
+			if key, op, ok := c.lockOp(n); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[key] = n.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return false
+			}
+			if desc := c.callBlocks(n); desc != "" {
+				c.reportIfHeld(held, n.Pos(), desc, report)
+			}
+		}
+		return true
+	})
 }
 
 // directOrTransitiveBlock scans a function body (ignoring nested function
@@ -222,209 +339,9 @@ func selectHasDefault(s *ast.SelectStmt) bool {
 	return false
 }
 
-// lockWalker walks statement lists maintaining the must-hold lock set.
-type lockWalker struct {
-	ctx *lockholdCtx
-}
-
-// stmts processes a statement list in order, mutating held. It returns
-// true when the list always terminates (return/branch/panic), i.e. its
-// exit state never merges with a fall-through path.
-func (w *lockWalker) stmts(list []ast.Stmt, held map[string]token.Pos) bool {
-	for _, s := range list {
-		if w.stmt(s, held) {
-			return true
-		}
-	}
-	return false
-}
-
-func (w *lockWalker) stmt(s ast.Stmt, held map[string]token.Pos) bool {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		w.scan(s.X, held)
-	case *ast.SendStmt:
-		w.scan(s.Chan, held)
-		w.scan(s.Value, held)
-		w.reportIfHeld(held, s.Arrow, "channel send")
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			w.scan(e, held)
-		}
-		for _, e := range s.Lhs {
-			w.scan(e, held)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, e := range vs.Values {
-						w.scan(e, held)
-					}
-				}
-			}
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			w.scan(e, held)
-		}
-		return true
-	case *ast.BranchStmt:
-		return true
-	case *ast.DeferStmt:
-		// defer mu.Unlock() keeps the lock held to function exit: no state
-		// change. A deferred closure is its own (empty-held) context.
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			w.stmts(lit.Body.List, map[string]token.Pos{})
-		}
-	case *ast.GoStmt:
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			w.stmts(lit.Body.List, map[string]token.Pos{})
-		}
-	case *ast.BlockStmt:
-		return w.stmts(s.List, held)
-	case *ast.LabeledStmt:
-		return w.stmt(s.Stmt, held)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		w.scan(s.Cond, held)
-		thenHeld := copyHeld(held)
-		thenTerm := w.stmts(s.Body.List, thenHeld)
-		elseHeld := copyHeld(held)
-		elseTerm := false
-		if s.Else != nil {
-			elseTerm = w.stmt(s.Else, elseHeld)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return true
-		case thenTerm:
-			replaceHeld(held, elseHeld)
-		case elseTerm:
-			replaceHeld(held, thenHeld)
-		default:
-			replaceHeld(held, intersectHeld(thenHeld, elseHeld))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			w.scan(s.Cond, held)
-		}
-		body := copyHeld(held)
-		w.stmts(s.Body.List, body)
-		if s.Post != nil {
-			w.stmt(s.Post, body)
-		}
-		replaceHeld(held, intersectHeld(held, body))
-	case *ast.RangeStmt:
-		w.scan(s.X, held)
-		body := copyHeld(held)
-		w.stmts(s.Body.List, body)
-		replaceHeld(held, intersectHeld(held, body))
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
-		var initStmt ast.Stmt
-		var tag ast.Expr
-		var body *ast.BlockStmt
-		if sw, ok := s.(*ast.SwitchStmt); ok {
-			initStmt, tag, body = sw.Init, sw.Tag, sw.Body
-		} else {
-			ts := s.(*ast.TypeSwitchStmt)
-			initStmt, body = ts.Init, ts.Body
-		}
-		if initStmt != nil {
-			w.stmt(initStmt, held)
-		}
-		if tag != nil {
-			w.scan(tag, held)
-		}
-		exits := [](map[string]token.Pos){}
-		hasDefault := false
-		for _, c := range body.List {
-			cc := c.(*ast.CaseClause)
-			if cc.List == nil {
-				hasDefault = true
-			}
-			caseHeld := copyHeld(held)
-			if !w.stmts(cc.Body, caseHeld) {
-				exits = append(exits, caseHeld)
-			}
-		}
-		if !hasDefault {
-			exits = append(exits, copyHeld(held))
-		}
-		replaceHeld(held, intersectAll(exits))
-	case *ast.SelectStmt:
-		if !selectHasDefault(s) {
-			w.reportIfHeld(held, s.Select, "select (blocking)")
-		}
-		exits := [](map[string]token.Pos){}
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CommClause)
-			caseHeld := copyHeld(held)
-			if cc.Comm != nil {
-				// The comm op itself was accounted to the select; still
-				// process assignments for lock events.
-				w.commStmt(cc.Comm, caseHeld)
-			}
-			if !w.stmts(cc.Body, caseHeld) {
-				exits = append(exits, caseHeld)
-			}
-		}
-		replaceHeld(held, intersectAll(exits))
-	}
-	return false
-}
-
-// commStmt processes a select communication clause without re-reporting
-// its channel operation.
-func (w *lockWalker) commStmt(s ast.Stmt, held map[string]token.Pos) {
-	// Lock events cannot hide in a comm clause; nothing to do beyond
-	// keeping the walk total.
-	_ = s
-	_ = held
-}
-
-// scan walks one expression for blocking operations and lock state
-// transitions, in source order. Nested function literals are separate
-// contexts.
-func (w *lockWalker) scan(e ast.Expr, held map[string]token.Pos) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			w.stmts(n.Body.List, map[string]token.Pos{})
-			return false
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				w.reportIfHeld(held, n.OpPos, "channel receive")
-			}
-		case *ast.CallExpr:
-			if key, op, ok := w.lockOp(n); ok {
-				switch op {
-				case "Lock", "RLock":
-					held[key] = n.Pos()
-				case "Unlock", "RUnlock":
-					delete(held, key)
-				}
-				return false
-			}
-			if desc := w.ctx.callBlocks(n); desc != "" {
-				w.reportIfHeld(held, n.Pos(), desc)
-			}
-		}
-		return true
-	})
-}
-
 // lockOp classifies mu.Lock/RLock/Unlock/RUnlock calls on sync.Mutex /
 // sync.RWMutex receivers, returning the lock's identity key.
-func (w *lockWalker) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+func (c *lockholdCtx) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
 		return "", "", false
@@ -435,7 +352,7 @@ func (w *lockWalker) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
 	default:
 		return "", "", false
 	}
-	fn, isFn := w.ctx.pass.Info.Uses[sel.Sel].(*types.Func)
+	fn, isFn := c.pass.Info.Uses[sel.Sel].(*types.Func)
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", "", false
 	}
@@ -446,14 +363,17 @@ func (w *lockWalker) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
 	return types.ExprString(sel.X), name, true
 }
 
-func (w *lockWalker) reportIfHeld(held map[string]token.Pos, pos token.Pos, desc string) {
+func (c *lockholdCtx) reportIfHeld(held map[string]token.Pos, pos token.Pos, desc string, report bool) {
+	if !report {
+		return
+	}
 	keys := make([]string, 0, len(held))
 	for k := range held {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, key := range keys {
-		w.ctx.pass.Reportf(pos, "%s while holding %s", desc, key)
+		c.pass.Reportf(pos, "%s while holding %s", desc, key)
 	}
 }
 
@@ -463,15 +383,6 @@ func copyHeld(m map[string]token.Pos) map[string]token.Pos {
 		out[k] = v
 	}
 	return out
-}
-
-func replaceHeld(dst, src map[string]token.Pos) {
-	for k := range dst {
-		delete(dst, k)
-	}
-	for k, v := range src {
-		dst[k] = v
-	}
 }
 
 func intersectHeld(a, b map[string]token.Pos) map[string]token.Pos {
@@ -484,13 +395,16 @@ func intersectHeld(a, b map[string]token.Pos) map[string]token.Pos {
 	return out
 }
 
-func intersectAll(sets []map[string]token.Pos) map[string]token.Pos {
-	if len(sets) == 0 {
-		return map[string]token.Pos{}
+// equalHeld compares key sets only: the stored positions never affect
+// reporting, so convergence is on the lock identities.
+func equalHeld(a, b map[string]token.Pos) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	out := sets[0]
-	for _, s := range sets[1:] {
-		out = intersectHeld(out, s)
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
 	}
-	return out
+	return true
 }

@@ -1,0 +1,63 @@
+package analysis
+
+// Unit tests for the lock-graph cycle detector.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLockCyclesAcyclic(t *testing.T) {
+	got := lockCycles([]lockEdge{
+		{"a", "b"}, {"b", "c"}, {"a", "c"},
+	})
+	if len(got) != 0 {
+		t.Fatalf("acyclic graph reported cycles: %v", got)
+	}
+}
+
+func TestLockCyclesTwoCycle(t *testing.T) {
+	got := lockCycles([]lockEdge{
+		{"a", "b"}, {"b", "a"}, {"b", "c"},
+	})
+	want := [][]string{{"a", "b"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cycles = %v, want %v", got, want)
+	}
+}
+
+func TestLockCyclesSelfEdge(t *testing.T) {
+	got := lockCycles([]lockEdge{
+		{"wmu", "wmu"}, {"a", "b"},
+	})
+	want := [][]string{{"wmu"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cycles = %v, want %v", got, want)
+	}
+}
+
+func TestLockCyclesThreeCycle(t *testing.T) {
+	got := lockCycles([]lockEdge{
+		{"a", "b"}, {"b", "c"}, {"c", "a"},
+	})
+	want := [][]string{{"a", "b", "c"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cycles = %v, want %v", got, want)
+	}
+}
+
+func TestLockCyclesDisjoint(t *testing.T) {
+	got := lockCycles([]lockEdge{
+		{"a", "b"}, {"b", "a"},
+		{"x", "y"}, {"y", "x"},
+		{"m", "n"},
+	})
+	if len(got) != 2 {
+		t.Fatalf("cycles = %v, want two disjoint SCCs", got)
+	}
+	for _, c := range got {
+		if len(c) != 2 {
+			t.Fatalf("cycle %v has wrong size", c)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Golden fixture for the bufretain check: parameters declared
+// //gtlint:noretain must not escape the call. Copies (element reads,
+// spread-append, copy into a fresh slice) are sanctioned; stores,
+// sends, returns, goroutine captures, and handing the buffer to an
+// unmarked callee are findings.
+package bufretainfix
+
+type Op struct {
+	Src, Dst uint64
+}
+
+type sink struct {
+	held   []Op
+	single Op
+}
+
+var global []Op
+
+// Store retains by struct-field assignment.
+//
+//gtlint:noretain ops
+func (s *sink) Store(ops []Op) {
+	s.held = ops // want:bufretain "no-retention value ops stored into s.held"
+}
+
+// CopyOK reuses its own backing array and copies the elements over.
+//
+//gtlint:noretain ops
+func (s *sink) CopyOK(ops []Op) {
+	s.held = append(s.held[:0], ops...)
+}
+
+// AliasStore launders the buffer through a reslice; the alias carries
+// the taint.
+//
+//gtlint:noretain ops
+func (s *sink) AliasStore(ops []Op) {
+	tail := ops[1:]
+	s.held = tail // want:bufretain "no-retention value tail stored into s.held"
+}
+
+// ElementReadOK copies one element: a value copy does not alias.
+//
+//gtlint:noretain ops
+func (s *sink) ElementReadOK(ops []Op) {
+	v := ops[0]
+	s.single = v
+}
+
+//gtlint:noretain ops
+func StoreGlobal(ops []Op) {
+	global = ops // want:bufretain "no-retention value ops stored into global"
+}
+
+//gtlint:noretain ops
+func SendChan(ops []Op, ch chan []Op) {
+	ch <- ops // want:bufretain "no-retention value ops sent on a channel"
+}
+
+//gtlint:noretain ops
+func Return(ops []Op) []Op {
+	return ops // want:bufretain "no-retention value ops returned to the caller"
+}
+
+// ReturnCopy hands back a fresh slice.
+//
+//gtlint:noretain ops
+func ReturnCopy(ops []Op) []Op {
+	out := make([]Op, len(ops))
+	copy(out, ops)
+	return out
+}
+
+//gtlint:noretain ops
+func GoCapture(ops []Op) {
+	go func() {
+		_ = ops // want:bufretain "no-retention value ops captured by a spawned goroutine"
+	}()
+}
+
+// inner carries no contract: handing it the buffer loses the guarantee.
+func inner(batch []Op) {
+	_ = batch
+}
+
+//gtlint:noretain ops
+func PassUnmarked(ops []Op) {
+	inner(ops) // want:bufretain "passed to inner, which does not declare //gtlint:noretain"
+}
+
+// markedInner commits to the same contract, so the buffer may flow in.
+//
+//gtlint:noretain batch
+func markedInner(batch []Op) {
+	_ = len(batch)
+}
+
+//gtlint:noretain ops
+func PassMarked(ops []Op) {
+	markedInner(ops)
+}
+
+// GoArg outlives the call even though the callee is marked: the
+// goroutine runs after this function returns.
+//
+//gtlint:noretain ops
+func GoArg(ops []Op) {
+	go markedInner(ops) // want:bufretain "no-retention value ops passed to a spawned goroutine"
+}
+
+//gtlint:noretain ops
+func Dynamic(ops []Op, f func([]Op)) {
+	f(ops) // want:bufretain "no-retention value ops passed through a dynamic call"
+}
+
+// Target's Apply method carries the contract for every implementation
+// with this name and signature, and sanctions calls through the
+// interface.
+type Target interface {
+	//gtlint:noretain batch
+	Apply(shard int, batch []Op) error
+}
+
+type impl struct {
+	held []Op
+}
+
+// Apply inherits the interface contract: no marker of its own needed.
+func (t *impl) Apply(shard int, batch []Op) error {
+	t.held = batch // want:bufretain "no-retention value batch stored into t.held"
+	return nil
+}
+
+//gtlint:noretain ops
+func CallThroughIface(t Target, ops []Op) {
+	_ = t.Apply(0, ops)
+}
+
+// BranchTaint keeps the alias alive through a join (may-analysis:
+// tainted on SOME path is tainted at the join).
+//
+//gtlint:noretain ops
+func (s *sink) BranchTaint(ops []Op, c bool) {
+	var x []Op
+	if c {
+		x = ops
+	}
+	s.held = x // want:bufretain "no-retention value x stored into s.held"
+}
+
+// Killed strong-updates the alias away before the store.
+//
+//gtlint:noretain ops
+func (s *sink) Killed(ops []Op) {
+	x := ops
+	x = nil
+	s.held = x
+}
+
+//gtlint:noretain ops extra words here want:bufretain "malformed //gtlint:noretain"
+func BadMarker(ops []Op) {
+	_ = ops
+}

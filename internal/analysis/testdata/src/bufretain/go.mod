@@ -1,0 +1,3 @@
+module bufretainfix
+
+go 1.22

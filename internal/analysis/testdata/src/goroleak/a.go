@@ -1,0 +1,103 @@
+// Golden fixture for the goroleak check: a spawned body must have a
+// reachable exit on its CFG. The sanctioned worker shapes (done-select
+// with a return, range over a closable channel, breakable loop) stay
+// silent; unbreakable loops are findings at the go statement.
+package goroleakfix
+
+func LeakForever() {
+	go func() { // want:goroleak "no provable exit path"
+		for {
+		}
+	}()
+}
+
+// LeakSelectLoop never leaves the loop: the done case falls back into
+// the for, so no path reaches the function exit.
+func LeakSelectLoop(done, work chan int) {
+	go func() { // want:goroleak "no provable exit path"
+		for {
+			select {
+			case <-done:
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// LeakRecvLoop drains a channel forever without an ok-check or break.
+func LeakRecvLoop(ch chan int) {
+	go func() { // want:goroleak "no provable exit path"
+		for {
+			<-ch
+		}
+	}()
+}
+
+// OKDoneReturn is the blessed worker: the done case returns.
+func OKDoneReturn(done, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// OKRange exits when the work channel is closed.
+func OKRange(work chan int) {
+	go func() {
+		for w := range work {
+			_ = w
+		}
+	}()
+}
+
+// OKBreak can leave its loop.
+func OKBreak(stop func() bool) {
+	go func() {
+		for {
+			if stop() {
+				break
+			}
+		}
+	}()
+}
+
+// OKOkCheck exits via the comma-ok receive.
+func OKOkCheck(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// spin is a named worker with no way out: flagged at the spawn site,
+// where the leak is committed.
+func spin() {
+	for {
+	}
+}
+
+func LeakNamed() {
+	go spin() // want:goroleak "no provable exit path"
+}
+
+// drain terminates when its channel closes.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func OKNamed(ch chan int) {
+	go drain(ch)
+}

@@ -1,0 +1,3 @@
+module goroleakfix
+
+go 1.22

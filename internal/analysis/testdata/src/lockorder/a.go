@@ -1,0 +1,78 @@
+// Golden fixture for the lockorder check. The committed spec
+// (lockorder.spec) sanctions a -> b and the self-ordered shard mutex
+// slice; everything else observed is a finding, as is the spec entry
+// that never fires.
+package lockorderfix
+
+import "sync"
+
+type G struct {
+	a, b sync.Mutex
+}
+
+// SpecOrder follows the committed order a -> b. The edge itself is
+// sanctioned, but ReverseOrder below closes a cycle through it, and the
+// cycle is reported on this (lexically first) edge.
+func (g *G) SpecOrder() {
+	g.a.Lock()
+	g.b.Lock() // want:lockorder "lock-order cycle: lockorderfix.G.a -> lockorderfix.G.b -> lockorderfix.G.a"
+	g.b.Unlock()
+	g.a.Unlock()
+}
+
+// ReverseOrder acquires b then a: an edge the spec does not sanction.
+func (g *G) ReverseOrder() {
+	g.b.Lock()
+	g.a.Lock() // want:lockorder "lock-order edge lockorderfix.G.b -> lockorderfix.G.a not in lockorder.spec"
+	g.a.Unlock()
+	g.b.Unlock()
+}
+
+type T struct {
+	c, d sync.Mutex
+}
+
+func (t *T) lockD() {
+	t.d.Lock()
+	t.d.Unlock()
+}
+
+// Outer never touches d directly: the edge c -> d is observed through
+// the call graph and reported at the call site.
+func (t *T) Outer() {
+	t.c.Lock()
+	t.lockD() // want:lockorder "lock-order edge lockorderfix.T.c -> lockorderfix.T.d not in lockorder.spec"
+	t.c.Unlock()
+}
+
+type P struct {
+	wmu []sync.Mutex
+}
+
+// OrderedPair acquires two shard locks of the same class: the index is
+// peeled so both acquisitions share one canonical name, and the
+// resulting self-edge is sanctioned by the spec.
+func (p *P) OrderedPair(i, j int) {
+	p.wmu[i].Lock()
+	p.wmu[j].Lock()
+	p.wmu[j].Unlock()
+	p.wmu[i].Unlock()
+}
+
+// ReleasedBetween holds nothing when it takes b: no edge.
+func (g *G) ReleasedBetween() {
+	g.a.Lock()
+	g.a.Unlock()
+	g.b.Lock()
+	g.b.Unlock()
+}
+
+// LocalLocks never participate: a function-local mutex has no canonical
+// module-wide name.
+func LocalLocks() {
+	var mu, mv sync.Mutex
+	mu.Lock()
+	mv.Lock()
+	mv.Unlock()
+	mu.Unlock()
+}

@@ -1,0 +1,3 @@
+module lockorderfix
+
+go 1.22

@@ -188,6 +188,9 @@ func (sc *shardCtl) applyBatchLocked(edges []Edge, del bool) int {
 
 // applyOpsLocked runs one ordered op sequence through both replicas and
 // returns the first apply's counts. Caller holds the shard's writer mutex.
+// The ops slice is the pipeline's recycled sub-batch: read-only, per-call.
+//
+//gtlint:noretain ops
 func (sc *shardCtl) applyOpsLocked(ops []EdgeOp) (inserted, deleted int) {
 	shadow := sc.shadowLocked()
 	for _, op := range ops {

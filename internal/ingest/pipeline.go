@@ -51,6 +51,8 @@ type Target interface {
 	// ops slice is valid only for the duration of the call: the pipeline
 	// recycles flushed sub-batch buffers, so implementations must copy
 	// anything they keep.
+	//
+	//gtlint:noretain ops
 	ApplyShard(shard int, ops []Update) (inserted, deleted int)
 }
 

@@ -289,7 +289,10 @@ func (l *Log) Dir() string { return l.dir }
 // Append writes one record holding ops (in order) and returns the first
 // op's LSN. The record is buffered; it is durable once Sync (or the group
 // commit flusher, or a 0 SyncInterval) has fsynced past it. Appends larger
-// than MaxRecordOps are split into multiple records.
+// than MaxRecordOps are split into multiple records. The ops slice is
+// only read during the call — callers may hand in a reused buffer.
+//
+//gtlint:noretain ops
 func (l *Log) Append(ops []core.EdgeOp) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -325,6 +328,8 @@ func (l *Log) Append(ops []core.EdgeOp) (uint64, error) {
 // write — so appends allocate nothing in steady state and each record
 // reaches the buffered writer as a single coalesced span (the group-commit
 // window then drains as one large write per flush, not one per field).
+//
+//gtlint:noretain ops
 func (l *Log) appendRecordLocked(ops []core.EdgeOp) error {
 	if err := faultinject.Inject("wal/append"); err != nil {
 		return err
@@ -581,6 +586,10 @@ func listSegments(dir string) ([]segInfo, error) {
 
 // encodePayloadInto serializes one record payload — firstLSN, count, ops —
 // into payload, which must be exactly recordMetaSize+opSize*len(ops) long.
+// Both slices belong to the caller: payload is typically a reused append
+// buffer and ops a recycled sub-batch, so neither may outlive the call.
+//
+//gtlint:noretain payload,ops
 func encodePayloadInto(payload []byte, firstLSN uint64, ops []core.EdgeOp) {
 	le := binary.LittleEndian
 	le.PutUint64(payload[0:], firstLSN)

@@ -26,7 +26,12 @@ if ! cmp -s go.mod /tmp/lint-go.mod.bak; then
 fi
 rm -f /tmp/lint-go.mod.bak
 
-echo "== gtlint"
-go run ./cmd/gtlint ./...
+echo "== gtlint (diff vs gtlint-baseline.json)"
+# Findings already recorded in the committed baseline are tolerated;
+# only new findings fail the gate. Refresh deliberately with
+#   go run ./cmd/gtlint -write-baseline
+# and commit the result (the nightly lint-report job ignores the
+# baseline, so the accepted backlog stays visible).
+go run ./cmd/gtlint -diff ./...
 
 echo "== OK: lint clean"
