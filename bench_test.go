@@ -1,4 +1,4 @@
-package graphtinker
+package graphtinker_test
 
 // One testing.B benchmark per table/figure of the paper's evaluation
 // section. Each benchmark executes the corresponding experiment driver at a

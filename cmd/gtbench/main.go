@@ -62,7 +62,7 @@ func main() {
 
 		perfFlag   = flag.Bool("perf", false, "run the steady-state perf sweep instead of the figure experiments")
 		benchOut   = flag.String("bench-out", "", "write the perf sweep as JSON to this file (implies -perf)")
-		compare    = flag.String("compare", "", "baseline perf JSON to gate against (implies -perf); exits 1 on regression")
+		compare    = flag.String("compare", "", "comma-separated baseline perf JSON files to gate against (implies -perf); exits 1 on regression")
 		tolerance  = flag.Float64("tolerance", 10, "allowed regression over the -compare baseline, in percent")
 		latTol     = flag.Float64("lat-tolerance", 400, "allowed read-latency percentile regression over the -compare baseline, in percent (negative disables)")
 		compareNs  = flag.Bool("compare-ns", false, "also gate wall-clock ns/op in -compare (hardware-dependent)")
@@ -227,6 +227,16 @@ func runPerf(opts bench.PerfOptions, outPath, comparePath string, cmp bench.Comp
 			fmt.Printf("%-24s %12s p50=%.0fns p99=%.0fns p999=%.0fns (%d samples under writer churn)\n",
 				"", "", r.ReadP50Ns, r.ReadP99Ns, r.ReadP999Ns, r.ReadLatency.Count)
 		}
+		if r.MBPerSec > 0 || r.SpeedupX > 0 {
+			fmt.Printf("%-24s %12s", "", "")
+			if r.MBPerSec > 0 {
+				fmt.Printf(" %.1f MB/s", r.MBPerSec)
+			}
+			if r.SpeedupX > 0 {
+				fmt.Printf(" %.2fx vs sequential", r.SpeedupX)
+			}
+			fmt.Println()
+		}
 	}
 
 	if outPath != "" {
@@ -240,7 +250,15 @@ func runPerf(opts bench.PerfOptions, outPath, comparePath string, cmp bench.Comp
 		fmt.Fprintf(os.Stderr, "gtbench: perf report written to %s\n", outPath)
 	}
 
-	if comparePath != "" {
+	// -compare accepts several comma-separated baselines; each gates only
+	// the probes it records, so a focused baseline (e.g. recovery-only)
+	// composes with the main sweep's without either overriding the other.
+	failed := false
+	for _, comparePath := range strings.Split(comparePath, ",") {
+		comparePath = strings.TrimSpace(comparePath)
+		if comparePath == "" {
+			continue
+		}
 		raw, err := os.ReadFile(comparePath)
 		if err != nil {
 			fatal("-compare: %v", err)
@@ -257,9 +275,13 @@ func runPerf(opts bench.PerfOptions, outPath, comparePath string, cmp bench.Comp
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "gtbench: REGRESSION %s\n", r)
 			}
-			os.Exit(1)
+			failed = true
+			continue
 		}
 		fmt.Printf("compare: within +%g%% of %s\n", cmp.TolerancePct, comparePath)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

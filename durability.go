@@ -300,23 +300,12 @@ func OpenDurableStream(cfg Config, dir string, opts DurableStreamOptions) (*Dura
 	}, nil
 }
 
-// replayInto applies the WAL tail from fromLSN onward to a sharded store,
-// grouping each record by shard. Returns how many ops were applied.
+// replayInto applies the WAL tail from fromLSN onward to a sharded store
+// through the pipelined replay path: decode on one goroutine, per-shard
+// application fanned out on workers, partition scratch reused across the
+// whole tail. Returns how many ops were applied.
 func replayInto(dir string, fromLSN uint64, rec *WALRecorder, store *Parallel) (uint64, error) {
-	n := store.NumShards()
-	next, err := wal.Replay(dir, fromLSN, rec, func(lsn uint64, ops []Update) error {
-		parts := make([][]Update, n)
-		for _, op := range ops {
-			s := store.ShardOf(op.Src)
-			parts[s] = append(parts[s], op)
-		}
-		for s, part := range parts {
-			if len(part) > 0 {
-				store.ApplyShard(s, part)
-			}
-		}
-		return nil
-	})
+	next, err := wal.ReplayInto(dir, fromLSN, rec, store)
 	if err != nil {
 		return 0, err
 	}

@@ -94,6 +94,14 @@ type PerfResult struct {
 	ReadP99Ns   float64                    `json:"read_p99_ns,omitempty"`
 	ReadP999Ns  float64                    `json:"read_p999_ns,omitempty"`
 	ReadLatency *metrics.HistogramSnapshot `json:"read_latency_ns,omitempty"`
+
+	// MBPerSec and SpeedupX are set by the recovery probes. MB/s is the
+	// probe's byte volume over its wall time — recorded for trajectory
+	// tracking, never gated (hardware-dependent). SpeedupX is the parallel
+	// path's ratio over its own sequential oracle, measured in the same
+	// process on the same machine — self-relative, so it IS gated.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	SpeedupX float64 `json:"speedup_x,omitempty"`
 }
 
 // PerfReport is the full sweep: what -bench-out writes and -compare reads.
@@ -379,6 +387,12 @@ func RunPerfSweep(o PerfOptions) (PerfReport, error) {
 		rep.Results = append(rep.Results, res)
 	}
 
+	// recovery/*: snapshot write/load bandwidth, WAL replay throughput and
+	// end-to-end reopen — the crash-recovery critical path (recovery.go).
+	if err := appendRecoveryProbes(o, &rep); err != nil {
+		return rep, err
+	}
+
 	return rep, nil
 }
 
@@ -394,6 +408,10 @@ type PerfRegression struct {
 func (r PerfRegression) String() string {
 	if r.Metric == "missing" {
 		return fmt.Sprintf("%s: probe present in baseline but absent from this run", r.Name)
+	}
+	if r.Metric == "speedup-x" {
+		return fmt.Sprintf("%s: parallel speedup fell %.3gx -> %.3gx (floor is %g%% of baseline)",
+			r.Name, r.Baseline, r.Current, 100-r.LimitPct)
 	}
 	return fmt.Sprintf("%s: %s regressed %.4g -> %.4g (limit +%g%%)",
 		r.Name, r.Metric, r.Baseline, r.Current, r.LimitPct)
@@ -477,6 +495,20 @@ func ComparePerf(baseline, current PerfReport, opts CompareOptions) []PerfRegres
 			regs = append(regs, PerfRegression{
 				Name: base.Name, Metric: "B/op",
 				Baseline: base.BytesPerOp, Current: cur.BytesPerOp, LimitPct: opts.TolerancePct,
+			})
+		}
+		// SpeedupX is self-relative — both sides of the ratio ran on the
+		// same machine in the same process — so unlike raw wall-clock it is
+		// gated from a committed baseline. The envelope is deliberately
+		// loose (the ratio may fall to 45% of the baseline's) because
+		// low-core CI machines compress a parallel speedup toward 1 without
+		// eliminating it; what the gate exists to catch is the ratio
+		// collapsing outright — the parallel path no longer paying for
+		// itself.
+		if base.SpeedupX > 0 && (cur.SpeedupX <= 0 || cur.SpeedupX < base.SpeedupX*0.45) {
+			regs = append(regs, PerfRegression{
+				Name: base.Name, Metric: "speedup-x",
+				Baseline: base.SpeedupX, Current: cur.SpeedupX, LimitPct: 55,
 			})
 		}
 		if opts.CompareNs && exceeds(base.NsPerOp, cur.NsPerOp, scale, 0) {

@@ -192,6 +192,10 @@ func TestRunPerfSweepShort(t *testing.T) {
 		"parallel/concurrent-read",
 		"ingest/push-flush",
 		"wal/append",
+		"recovery/snapshot-write",
+		"recovery/snapshot-load",
+		"recovery/wal-replay",
+		"recovery/reopen",
 	}
 	if len(rep.Results) != len(want) {
 		t.Fatalf("got %d probes, want %d: %+v", len(rep.Results), len(want), rep.Results)
@@ -207,6 +211,18 @@ func TestRunPerfSweepShort(t *testing.T) {
 		if res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
 			t.Fatalf("probe %q has negative alloc metrics: %+v", name, res)
 		}
+	}
+	// The parallel-vs-sequential recovery probes must report a ratio; it is
+	// the field the perf gate compares, so a zero here would disarm it.
+	for _, name := range []string{"recovery/snapshot-load", "recovery/wal-replay"} {
+		res, _ := rep.Result(name)
+		if res.SpeedupX <= 0 {
+			t.Fatalf("probe %q reports no speedup ratio: %+v", name, res)
+		}
+	}
+	sw, _ := rep.Result("recovery/snapshot-write")
+	if sw.MBPerSec <= 0 {
+		t.Fatalf("snapshot-write probe reports no bandwidth: %+v", sw)
 	}
 	cr, _ := rep.Result("parallel/concurrent-read")
 	if cr.ReadP50Ns <= 0 || cr.ReadP99Ns < cr.ReadP50Ns || cr.ReadP999Ns < cr.ReadP99Ns {

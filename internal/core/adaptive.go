@@ -47,6 +47,38 @@ func (ac *adaptiveContainer) init(gt *GraphTinker, d uint32) {
 	}
 }
 
+// initForDegree binds the container like init but picks the format the
+// final degree lands in directly — the bulk loader's pre-sizing path
+// (bulkload.go). The chosen kind is exactly what sequential insertion of
+// `degree` edges through the adaptive thresholds settles on, so the
+// CheckInvariants kind/degree windows hold and a bulk-loaded replica is
+// interchangeable with an op-by-op one. A forced Repr pins the format as
+// init does, with the slice buffer and cuckoo table pre-sized for the run.
+func (ac *adaptiveContainer) initForDegree(gt *GraphTinker, d uint32, degree int) {
+	ac.slice = sliceContainer{host: gt, d: d}
+	ac.blocks = blockContainer{host: gt, d: d}
+	if gt.cfg.Repr != ReprAdaptive {
+		ac.kind = gt.cfg.Repr.initialKind()
+	} else {
+		switch {
+		case degree > gt.cfg.CuckooPromoteDegree:
+			ac.kind = reprCuckoo
+		case degree > gt.cfg.SlicePromoteDegree:
+			ac.kind = reprBlocks
+		default:
+			ac.kind = reprSlice
+		}
+	}
+	switch ac.kind {
+	case reprCuckoo:
+		ac.cuckoo = newCuckooContainer(gt, d, degree)
+	case reprSlice:
+		if degree > 0 {
+			ac.slice.entries = make([]sliceEntry, 0, degree)
+		}
+	}
+}
+
 func (ac *adaptiveContainer) host() *GraphTinker { return ac.blocks.host }
 
 func (ac *adaptiveContainer) Insert(dst uint64, w float32) (bool, int) {

@@ -1,0 +1,99 @@
+package core
+
+// Pre-publication bulk loading for the v2 parallel snapshot format.
+//
+// The seqlock write protocol (shadow apply → publish → drain → catch-up)
+// exists to protect concurrent readers; it costs every op two applies and
+// a version flip. During recovery there are no readers or writers — the
+// store has not been returned to its creator yet — so the loader may
+// build BOTH replicas of a shard directly, with identical inputs, and
+// skip the protocol entirely. That is the replica-construction invariant:
+// bulkInsertRun is only legal on a never-published store, and once
+// ReadParallelSnapshot returns, every later mutation goes back through
+// the seqlock protocol.
+//
+// Edges still go through the containers' real Insert path (not the
+// migration-only bulkAdd paths), so the CAL mirror, its owner
+// back-pointers, and the degree/count bookkeeping come out exactly as
+// sequential insertion would leave them. What the bulk path skips is the
+// migration churn: each source's run carries its final degree, so
+// initForDegree picks the container format (and the cuckoo geometry) the
+// degree lands in up front instead of promoting slice → blocks → cuckoo
+// on the way up.
+
+import (
+	"fmt"
+	"io"
+
+	"graphtinker/internal/faultinject"
+)
+
+// bulkLoadSection decodes one shard's section into both of the shard's
+// replicas. Caller guarantees the store is not yet published and that the
+// section's sources route to this shard under the store's partition.
+func (p *Parallel) bulkLoadSection(ra io.ReaderAt, shard int, sec v2Section) error {
+	// The failpoint models a crash or fault mid-parallel-load: recovery
+	// dies here with other section loads in flight, and the directory must
+	// remain recoverable by a later open.
+	if err := faultinject.Inject("recovery/bulk-load"); err != nil {
+		return fmt.Errorf("core: parallel snapshot shard %d bulk load: %w", shard, err)
+	}
+	buf, err := readV2Section(ra, shard, sec)
+	if err != nil {
+		return err
+	}
+	insts := p.sc[shard].bulkReplicas()
+	for _, g := range insts {
+		g.reserveVertices(int(sec.sources))
+	}
+	return decodeV2Runs(buf, shard, sec, func(src uint64, run []Edge) error {
+		if owner := p.shardOf(src); owner != shard {
+			return fmt.Errorf("core: parallel snapshot shard %d section contains source %d owned by shard %d (section at byte offset %d)", shard, src, owner, sec.off)
+		}
+		for _, g := range insts {
+			g.bulkInsertRun(src, run)
+		}
+		return nil
+	})
+}
+
+// bulkInsertRun inserts one source's complete edge run, choosing the
+// final container format up front from the run's degree. Only valid on a
+// replica that has never been published (see the file comment).
+func (gt *GraphTinker) bulkInsertRun(src uint64, run []Edge) {
+	gt.observe(src)
+	d := gt.denseOf(src)
+	gt.ensureDense(d)
+	ac := &gt.cont[d]
+	if ac.kind == reprNone {
+		ac.initForDegree(gt, d, len(run))
+	}
+	for i := range run {
+		gt.observe(run[i].Dst)
+		isNew, _ := ac.Insert(run[i].Dst, run[i].Weight)
+		if isNew {
+			gt.props.degree[d]++
+			gt.numEdges++
+			gt.stats.inserts.Add(1)
+		} else {
+			gt.stats.updates.Add(1)
+		}
+	}
+}
+
+// reserveVertices grows the dense-id arrays to capacity n in one step so
+// a bulk load of n sources (the section header's count) does not re-grow
+// them log(n) times. A hint only — ensureDense still extends on demand.
+func (gt *GraphTinker) reserveVertices(n int) {
+	if n <= cap(gt.topBlock) {
+		gt.props.reserve(n)
+		return
+	}
+	tb := make([]int32, len(gt.topBlock), n)
+	copy(tb, gt.topBlock)
+	gt.topBlock = tb
+	ct := make([]adaptiveContainer, len(gt.cont), n)
+	copy(ct, gt.cont)
+	gt.cont = ct
+	gt.props.reserve(n)
+}

@@ -123,9 +123,11 @@ func TestParallelSnapshotCorruptInputs(t *testing.T) {
 		{"empty", func(b []byte) []byte { return nil }, "header truncated at byte offset 0"},
 		{"short-header", func(b []byte) []byte { return b[:4] }, "header truncated"},
 		{"bad-magic", func(b []byte) []byte { c := append([]byte(nil), b...); c[0] ^= 0xff; return c }, "not a sharded"},
-		{"short-config", func(b []byte) []byte { return b[:10+8*3] }, "config truncated"},
-		{"short-count", func(b []byte) []byte { return b[:10+8*9+4] }, "edge count truncated"},
-		{"mid-edge", func(b []byte) []byte { return b[:len(b)-7] }, "truncated at byte offset"},
+		// The v2 header carries the config block, so cutting inside it is a
+		// header truncation; cutting past it loses the trailer.
+		{"short-config", func(b []byte) []byte { return b[:10+8*3] }, "header truncated"},
+		{"short-trailer", func(b []byte) []byte { return b[:10+8*9+4] }, "section table and footer"},
+		{"mid-edge", func(b []byte) []byte { return b[:len(b)-7] }, "footer magic"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

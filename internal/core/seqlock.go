@@ -236,6 +236,15 @@ func (sc *shardCtl) deleteLocked(src, dst uint64) bool {
 	return removed
 }
 
+// bulkReplicas exposes both replicas for the recovery bulk loader
+// (bulkload.go). Only legal on a store that has never been returned to
+// its creator: with zero readers and zero writers there is nothing to
+// fence, so the loader builds both copies directly from identical inputs
+// — no shadow/publish/drain, no double-apply, and the replicas stay
+// identical by construction. After publication this accessor must never
+// be used; every later access goes through pinRead or quiescedInstance.
+func (sc *shardCtl) bulkReplicas() [2]*GraphTinker { return sc.inst }
+
 // quiescedInstance returns the replica readers are currently routed to,
 // without pinning it. Only safe when the caller has quiesced all writers
 // (the Shard accessor's documented contract).

@@ -27,6 +27,23 @@ func (vp *vertexProps) ensure(d uint32) {
 	}
 }
 
+// reserve grows the arrays' capacity to n in one step (a bulk-load
+// pre-sizing hint; lengths are unchanged).
+func (vp *vertexProps) reserve(n int) {
+	if n <= cap(vp.degree) {
+		return
+	}
+	d := make([]uint32, len(vp.degree), n)
+	copy(d, vp.degree)
+	vp.degree = d
+	v := make([]float64, len(vp.value), n)
+	copy(v, vp.value)
+	vp.value = v
+	f := make([]uint32, len(vp.flags), n)
+	copy(f, vp.flags)
+	vp.flags = f
+}
+
 func (vp *vertexProps) memoryBytes() uint64 {
 	return uint64(len(vp.degree))*4 + uint64(len(vp.value))*8 + uint64(len(vp.flags))*4
 }

@@ -14,6 +14,7 @@ package faultinject
 // containing its Inject call). Keep it sorted.
 var registry = map[string]string{
 	"ingest/apply":       "internal/ingest",      // shard-apply failure/panic before an edge lands
+	"recovery/bulk-load": "internal/core",        // snapshot section load dies mid-parallel-recovery
 	"repl/apply":         "internal/replication", // follower dies between WAL append and store apply
 	"repl/frame-recv":    "internal/replication", // transport receive failure mid-frame
 	"repl/frame-send":    "internal/replication", // transport send failure mid-frame

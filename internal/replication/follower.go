@@ -122,6 +122,10 @@ type Follower struct {
 	store   *core.Parallel
 	log     *wal.Log
 
+	// applyParts is the per-record partition scratch; only the stream's
+	// single-flight apply path (applyRecord via runStream) touches it.
+	applyParts [][]core.EdgeOp
+
 	applied    atomic.Uint64 // LSN after the last op applied to the store
 	primaryLSN atomic.Uint64 // primary's durable frontier as of the last frame
 	state      atomic.Int32
@@ -242,13 +246,11 @@ func OpenFollower(cfg core.Config, dir string, opts FollowerOptions) (*Follower,
 	return f, nil
 }
 
-// replayTail applies the WAL tail from fromLSN onward to a sharded store,
-// grouping each record by shard.
+// replayTail applies the WAL tail from fromLSN onward to a sharded store
+// through the pipelined replay path (decode overlapped with per-shard
+// application, partition scratch reused across the tail).
 func replayTail(dir string, fromLSN uint64, rec *wal.Recorder, store *core.Parallel) (uint64, error) {
-	next, err := wal.Replay(dir, fromLSN, rec, func(lsn uint64, ops []core.EdgeOp) error {
-		applyToStore(store, ops)
-		return nil
-	})
+	next, err := wal.ReplayInto(dir, fromLSN, rec, store)
 	if err != nil {
 		return 0, err
 	}
@@ -259,9 +261,19 @@ func replayTail(dir string, fromLSN uint64, rec *wal.Recorder, store *core.Paral
 }
 
 // applyToStore partitions one record's ops by shard and applies each part.
-func applyToStore(store *core.Parallel, ops []core.EdgeOp) {
+// The partition scratch lives on the Follower and is reused across records
+// (applyRecord is single-flight from runStream); a snapshot bootstrap can
+// swap the store for one with a different width, so the scratch is re-made
+// whenever the shard count changes.
+func (f *Follower) applyToStore(store *core.Parallel, ops []core.EdgeOp) {
 	n := store.NumShards()
-	parts := make([][]core.EdgeOp, n)
+	if len(f.applyParts) != n {
+		f.applyParts = make([][]core.EdgeOp, n)
+	}
+	parts := f.applyParts
+	for i := range parts {
+		parts[i] = parts[i][:0]
+	}
 	for _, op := range ops {
 		s := store.ShardOf(op.Src)
 		parts[s] = append(parts[s], op)
@@ -547,7 +559,7 @@ func (f *Follower) applyRecord(firstLSN uint64, ops []core.EdgeOp) error {
 		f.markDegraded()
 		return fmt.Errorf("replication: follower apply: %w", err)
 	}
-	applyToStore(f.Store(), ops)
+	f.applyToStore(f.Store(), ops)
 	if f.rec != nil {
 		f.rec.RecordsApplied.Inc()
 		f.rec.OpsApplied.Add(uint64(len(ops)))

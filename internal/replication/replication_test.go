@@ -84,7 +84,10 @@ func (h *primaryHarness) append(ops []core.EdgeOp) {
 	if _, err := h.log.Append(ops); err != nil {
 		h.t.Fatal(err)
 	}
-	applyToStore(h.store, ops)
+	for _, op := range ops {
+		s := h.store.ShardOf(op.Src)
+		h.store.ApplyShard(s, []core.EdgeOp{op})
+	}
 }
 
 // appendChunks appends in small records so segments rotate — a

@@ -33,6 +33,11 @@ func (e *tailError) Unwrap() error { return ErrCorrupt }
 // record's decoded ops to fn. It returns the byte offset after the last
 // valid record and the next LSN. A torn/corrupt tail is reported as a
 // *tailError carrying how much of the file is good.
+//
+// The payload and ops buffers are reused across records, so fn must not
+// retain the slice past its return (every caller partitions or applies in
+// place). With fn nil the records are validated without materialising ops
+// at all — the allocation-free path Open's integrity scan takes.
 func scanSegment(path string, wantFirstLSN uint64, fn func(firstLSN uint64, ops []core.EdgeOp) error) (end int64, nextLSN uint64, records int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -63,6 +68,12 @@ func scanSegment(path string, wantFirstLSN uint64, fn func(firstLSN uint64, ops 
 	end = headerSize
 	nextLSN = wantFirstLSN
 	var rh [recordHeaderSize]byte
+	var payload []byte
+	var ops []core.EdgeOp
+	var opsOut *[]core.EdgeOp
+	if fn != nil {
+		opsOut = &ops
+	}
 	for {
 		if _, rerr := io.ReadFull(f, rh[:]); rerr != nil {
 			if rerr == io.EOF {
@@ -75,14 +86,18 @@ func scanSegment(path string, wantFirstLSN uint64, fn func(firstLSN uint64, ops 
 		if plen < recordMetaSize || plen > recordMetaSize+opSize*MaxRecordOps {
 			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: fmt.Sprintf("implausible record length %d", plen)}
 		}
-		payload := make([]byte, plen)
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		} else {
+			payload = payload[:plen]
+		}
 		if _, rerr := io.ReadFull(f, payload); rerr != nil {
 			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: "torn record payload"}
 		}
 		if crc32.Checksum(payload, castagnoli) != crc {
 			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: "record checksum mismatch"}
 		}
-		firstLSN, ops, derr := decodePayload(payload)
+		firstLSN, count, derr := decodePayloadInto(payload, opsOut)
 		if derr != nil {
 			return 0, 0, 0, &tailError{path: path, goodEnd: end, size: size, nextLSN: nextLSN, reason: derr.Error()}
 		}
@@ -95,7 +110,7 @@ func scanSegment(path string, wantFirstLSN uint64, fn func(firstLSN uint64, ops 
 			}
 		}
 		end += recordHeaderSize + int64(plen)
-		nextLSN += uint64(len(ops))
+		nextLSN += uint64(count)
 		records++
 	}
 }
@@ -113,38 +128,63 @@ func DecodeOps(payload []byte) (firstLSN uint64, ops []core.EdgeOp, err error) {
 	return decodePayload(payload)
 }
 
-// decodePayload parses a record payload back into its first LSN and ops.
+// decodePayload parses a record payload back into its first LSN and
+// freshly allocated ops — the public DecodeOps form replication's wire
+// path relies on (its callers may retain the slice).
 func decodePayload(payload []byte) (uint64, []core.EdgeOp, error) {
+	var ops []core.EdgeOp
+	firstLSN, _, err := decodePayloadInto(payload, &ops)
+	return firstLSN, ops, err
+}
+
+// decodePayloadInto validates a record payload and, when out is non-nil,
+// decodes its ops into *out reusing the slice's capacity. With out nil it
+// only validates (meta bounds, exact length, per-op flags) without
+// materialising the ops. Returns the record's first LSN and op count.
+func decodePayloadInto(payload []byte, out *[]core.EdgeOp) (uint64, int, error) {
 	le := binary.LittleEndian
 	if len(payload) < recordMetaSize {
-		return 0, nil, errors.New("short record payload")
+		return 0, 0, errors.New("short record payload")
 	}
 	firstLSN := le.Uint64(payload[0:])
-	count := le.Uint32(payload[8:])
+	count := int(le.Uint32(payload[8:]))
 	if count > MaxRecordOps {
-		return 0, nil, fmt.Errorf("implausible op count %d", count)
+		return 0, 0, fmt.Errorf("implausible op count %d", count)
 	}
-	if want := recordMetaSize + opSize*int(count); len(payload) != want {
-		return 0, nil, fmt.Errorf("payload is %d bytes, want %d for %d ops", len(payload), want, count)
+	if want := recordMetaSize + opSize*count; len(payload) != want {
+		return 0, 0, fmt.Errorf("payload is %d bytes, want %d for %d ops", len(payload), want, count)
 	}
-	ops := make([]core.EdgeOp, count)
 	off := recordMetaSize
-	for i := range ops {
+	if out == nil {
+		for i := 0; i < count; i++ {
+			if flags := payload[off]; flags > 1 {
+				return 0, 0, fmt.Errorf("op %d: bad flags %#x", i, flags)
+			}
+			off += opSize
+		}
+		return firstLSN, count, nil
+	}
+	ops := (*out)[:0]
+	if cap(ops) < count {
+		ops = make([]core.EdgeOp, 0, count)
+	}
+	for i := 0; i < count; i++ {
 		flags := payload[off]
 		if flags > 1 {
-			return 0, nil, fmt.Errorf("op %d: bad flags %#x", i, flags)
+			return 0, 0, fmt.Errorf("op %d: bad flags %#x", i, flags)
 		}
-		ops[i] = core.EdgeOp{
+		ops = append(ops, core.EdgeOp{
 			Edge: core.Edge{
 				Src:    le.Uint64(payload[off+1:]),
 				Dst:    le.Uint64(payload[off+9:]),
 				Weight: floatFrom(le.Uint32(payload[off+17:])),
 			},
 			Del: flags == 1,
-		}
+		})
 		off += opSize
 	}
-	return firstLSN, ops, nil
+	*out = ops
+	return firstLSN, count, nil
 }
 
 // Replay streams the log's ops at or beyond fromLSN, in order, to fn. A
@@ -153,6 +193,15 @@ func decodePayload(payload []byte) (uint64, []core.EdgeOp, error) {
 // the last segment ends the replay cleanly (Open would truncate it);
 // corruption anywhere else returns an error wrapping ErrCorrupt. It
 // returns the LSN after the last replayed op.
+//
+// Segments whose whole LSN range sits below fromLSN — proven by the NEXT
+// segment's name carrying a first LSN ≤ fromLSN — are skipped without
+// being opened: everything in them is covered by the checkpoint the
+// caller is replaying from. (Open already byte-validated every segment;
+// Replay's job is only to stream the uncovered tail.)
+//
+// The ops slice passed to fn is reused between records; fn must not
+// retain it past its return.
 func Replay(dir string, fromLSN uint64, rec *Recorder, fn func(lsn uint64, ops []core.EdgeOp) error) (uint64, error) {
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -168,6 +217,12 @@ func Replay(dir string, fromLSN uint64, rec *Recorder, fn func(lsn uint64, ops [
 		if i > 0 && seg.firstLSN != prevEnd {
 			return next, fmt.Errorf("wal: %s: segment starts at LSN %d but previous segment ends at LSN %d (missing segment?): %w",
 				seg.path, seg.firstLSN, prevEnd, ErrCorrupt)
+		}
+		if !last && segs[i+1].firstLSN <= fromLSN {
+			// Every LSN in this segment is below the next segment's first
+			// LSN, hence ≤ fromLSN: wholly covered. Skip without opening.
+			prevEnd = segs[i+1].firstLSN
+			continue
 		}
 		_, segNext, _, err := scanSegment(seg.path, seg.firstLSN, func(firstLSN uint64, ops []core.EdgeOp) error {
 			opsEnd := firstLSN + uint64(len(ops))

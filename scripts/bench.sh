@@ -3,17 +3,21 @@
 # perf-smoke job does: write the sweep to $BENCH_OUT and gate it against
 # the committed baseline. Run it from anywhere; it cds to the repo root.
 #
-#   bash scripts/bench.sh                 # gate against BENCH_6.json
+#   bash scripts/bench.sh                 # gate against the committed baselines
 #   BENCH_OUT=/tmp/now.json bash scripts/bench.sh
 #   BENCH_BASELINE= bash scripts/bench.sh # sweep only, no gate
 #
-# To refresh the committed baseline after an intentional perf change:
+# Two baselines gate by default: BENCH_6.json covers the update/read hot
+# paths, BENCH_10.json the recovery probes (snapshot write/load, WAL
+# replay, reopen — including the parallel-vs-sequential speedup ratios).
+# To refresh a committed baseline after an intentional perf change, write
+# the sweep over it and re-filter (see EXPERIMENTS.md):
 #   BENCH_OUT=BENCH_6.json BENCH_BASELINE= bash scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_OUT="${BENCH_OUT-bench-current.json}"
-BENCH_BASELINE="${BENCH_BASELINE-BENCH_6.json}"
+BENCH_BASELINE="${BENCH_BASELINE-BENCH_6.json,BENCH_10.json}"
 BENCH_TOLERANCE="${BENCH_TOLERANCE-10}"
 BENCH_LAT_TOLERANCE="${BENCH_LAT_TOLERANCE-400}"
 

@@ -31,6 +31,29 @@ type sessionDurability struct {
 	info      RecoveryInfo
 }
 
+// sessionReplayTarget adapts a session's single graph to the pipelined
+// replay interface: one shard, every src on it, ops applied in order.
+type sessionReplayTarget struct {
+	g *core.GraphTinker
+}
+
+func (t sessionReplayTarget) NumShards() int     { return 1 }
+func (t sessionReplayTarget) ShardOf(uint64) int { return 0 }
+func (t sessionReplayTarget) ApplyShard(_ int, ops []core.EdgeOp) (inserted, deleted int) {
+	for _, op := range ops {
+		if op.Del {
+			if t.g.DeleteEdge(op.Src, op.Dst) {
+				deleted++
+			}
+		} else {
+			if t.g.InsertEdge(op.Src, op.Dst, op.Weight) {
+				inserted++
+			}
+		}
+	}
+	return inserted, deleted
+}
+
 // appendBatch logs one batch's ops in application order. The first append
 // failure degrades the session: later batches must not be acknowledged
 // past an unlogged one, or the WAL would stop being a prefix of the
@@ -170,18 +193,10 @@ func (s *Session) RecoverWithOptions(dir string, opts DurabilityOptions) (Recove
 		_ = log.Close() // abandoning open; the recovery error below is the signal
 		return RecoveryInfo{}, fmt.Errorf("graphtinker: recover: wal ends at LSN %d but manifest snapshot covers %d (log lost behind checkpoint)", next, m.LastLSN)
 	}
-	// Replay the tail op-by-op in LSN order; records straddling the
-	// snapshot boundary arrive pre-sliced, so nothing applies twice.
-	replayed, err := wal.Replay(walDir(dir), m.LastLSN, opts.Recorder, func(lsn uint64, ops []Update) error {
-		for _, op := range ops {
-			if op.Del {
-				s.graph.DeleteEdge(op.Src, op.Dst)
-			} else {
-				s.graph.InsertEdge(op.Src, op.Dst, op.Weight)
-			}
-		}
-		return nil
-	})
+	// Replay the tail in LSN order; records straddling the snapshot
+	// boundary arrive pre-sliced, so nothing applies twice. A session's
+	// graph is one shard, so ReplayInto applies inline on the decoder.
+	replayed, err := wal.ReplayInto(walDir(dir), m.LastLSN, opts.Recorder, sessionReplayTarget{s.graph})
 	if err != nil {
 		_ = log.Close()
 		return RecoveryInfo{}, err
